@@ -1,0 +1,29 @@
+//! Baseline cluster managers the paper compares Quasar against (§5, §6):
+//!
+//! * **Reservation + least-loaded (LL)** — users (or framework
+//!   schedulers) translate targets into resource reservations with the
+//!   over/under-sizing error measured in Fig. 1d; assignment ignores
+//!   heterogeneity and interference.
+//! * **Reservation + Paragon** — the same reservation-based allocation,
+//!   but assignment uses Paragon-style collaborative-filtering
+//!   classification of heterogeneity and interference (the paper's
+//!   strongest baseline; isolates the value of *joint* allocation).
+//! * **Framework self-scheduling** — Hadoop/Spark/Storm size themselves
+//!   with stock parameters and linear-scaling assumptions.
+//! * **Auto-scaling** — latency-critical services scale instance counts
+//!   on a load threshold (70% up, 30% down), as in EC2 auto-scaling.
+//!
+//! All baselines are [`quasar_cluster::Manager`]s assembled from an
+//! [`AllocationPolicy`] and an [`AssignmentPolicy`] by
+//! [`BaselineManager`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod paragon;
+mod reservation;
+
+pub use manager::{AllocationPolicy, AssignmentPolicy, BaselineManager};
+pub use paragon::ParagonEngine;
+pub use reservation::{ReservationSizer, SizedReservation, UserErrorModel};

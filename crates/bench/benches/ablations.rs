@@ -1,0 +1,149 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! joint vs decoupled allocation, 4-parallel vs exhaustive classification,
+//! profiling density, CF reconstruction vs a column-mean predictor, and
+//! scale-up-first vs scale-out-first sizing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quasar_cf::{DenseMatrix, Reconstructor};
+use quasar_cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar_core::{QuasarConfig, QuasarManager};
+use quasar_experiments::{fig11, fig3, local_history, Scale};
+use quasar_workloads::generate::Generator;
+use quasar_workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass};
+
+/// Joint allocation+assignment (Quasar) vs decoupled
+/// (reservation+Paragon): the headline Fig. 11 comparison as a bench so
+/// regressions in either path are visible.
+fn joint_vs_decoupled(c: &mut Criterion) {
+    c.bench_function("ablation_joint_vs_decoupled", |b| {
+        b.iter(|| {
+            let r = fig11::run(Scale::Quick);
+            let q = r.run_named("quasar").map(|x| x.mean_normalized());
+            let p = r
+                .run_named("reservation+paragon")
+                .map(|x| x.mean_normalized());
+            black_box((q, p))
+        })
+    });
+}
+
+/// Profiling density 1 vs 2 vs 4 entries/row (Fig. 3): accuracy/overhead
+/// trade-off of the paper's central tuning knob.
+fn profiling_density(c: &mut Criterion) {
+    c.bench_function("ablation_density_sweep", |b| {
+        b.iter(|| black_box(fig3::run(Scale::Quick).density_two_improves()))
+    });
+}
+
+/// CF reconstruction (SVD+SGD) vs the trivial column-mean predictor on a
+/// noisy low-rank matrix: quantifies what the Netflix-style machinery
+/// buys over the naive baseline.
+fn reconstruction_vs_column_mean(c: &mut Criterion) {
+    // Rank-2 ground truth with row-dependent mixtures.
+    let truth = DenseMatrix::from_fn(20, 40, |r, cc| {
+        let a = (r as f64 * 0.37).sin().abs() + 0.2;
+        let b = 1.2 - a * 0.5;
+        a * (cc as f64 * 0.21).cos().abs() + b * (cc as f64 / 40.0)
+    });
+    let history = DenseMatrix::from_fn(19, 40, |r, cc| truth.get(r, cc));
+    let target_row = 19;
+    let observed = [(3usize, truth.get(target_row, 3)), (27, truth.get(target_row, 27))];
+
+    c.bench_function("ablation_cf_vs_column_mean", |b| {
+        b.iter(|| {
+            let cf_row = Reconstructor::new()
+                .reconstruct_row(&history, &observed)
+                .unwrap();
+            let means = history.col_means();
+            let cf_err: f64 = (0..40)
+                .map(|i| (cf_row[i] - truth.get(target_row, i)).abs())
+                .sum();
+            let mean_err: f64 = (0..40)
+                .map(|i| (means[i] - truth.get(target_row, i)).abs())
+                .sum();
+            black_box((cf_err, mean_err))
+        })
+    });
+}
+
+/// Reactive (paper) vs predictive (§4.1 future-work extension) scaling
+/// on a steep fluctuating load: compares served fraction.
+fn reactive_vs_predictive(c: &mut Criterion) {
+    let run = |config: QuasarConfig| -> f64 {
+        let catalog = PlatformCatalog::local();
+        let manager = QuasarManager::with_history(local_history().clone(), config);
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 4),
+            Box::new(manager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog, 0xAB1);
+        let svc = generator.service(
+            WorkloadClass::Webserver,
+            "wave",
+            6.0,
+            LoadPattern::Fluctuating {
+                base_qps: 150_000.0,
+                amplitude_qps: 120_000.0,
+                period_s: 1_800.0,
+            },
+            Priority::Guaranteed,
+        );
+        sim.submit_at(svc, 0.0);
+        sim.run_until(3_600.0);
+        sim.world().qos_records()[0].served_fraction()
+    };
+    c.bench_function("ablation_reactive_vs_predictive", |b| {
+        b.iter(|| {
+            let reactive = run(QuasarConfig::default());
+            let predictive = run(QuasarConfig::predictive());
+            black_box((reactive, predictive))
+        })
+    });
+}
+
+/// Cost-capped vs unconstrained allocation (§4.4 cost-target extension).
+fn cost_budget(c: &mut Criterion) {
+    let run = |limit: Option<f64>| -> (f64, u32) {
+        let catalog = PlatformCatalog::local();
+        let manager =
+            QuasarManager::with_history(local_history().clone(), QuasarConfig::default());
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 4),
+            Box::new(manager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog, 0xAB2);
+        let mut svc = generator.service(
+            WorkloadClass::Webserver,
+            "svc",
+            6.0,
+            LoadPattern::Flat { qps: 400_000.0 },
+            Priority::Guaranteed,
+        );
+        if let Some(l) = limit {
+            svc = svc.with_cost_limit(l);
+        }
+        sim.submit_at(svc, 0.0);
+        sim.run_until(1_200.0);
+        let rec = &sim.world().qos_records()[0];
+        (rec.served_fraction(), rec.peak_cores)
+    };
+    c.bench_function("ablation_cost_budget", |b| {
+        b.iter(|| {
+            let unconstrained = run(None);
+            let capped = run(Some(0.2));
+            black_box((unconstrained, capped))
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = joint_vs_decoupled, profiling_density, reconstruction_vs_column_mean,
+        reactive_vs_predictive, cost_budget
+}
+criterion_main!(ablations);

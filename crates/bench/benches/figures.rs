@@ -1,0 +1,96 @@
+//! One Criterion bench per table and figure of the paper: each target
+//! regenerates its experiment at quick scale, so `cargo bench` doubles as
+//! the full reproduction harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use quasar_experiments::{adaptation, fig1, fig11, fig2, fig3, fig5, fig67, fig8, fig910, table2, Scale};
+
+fn bench_config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+fn fig1_motivation(c: &mut Criterion) {
+    c.bench_function("fig1_motivation", |b| {
+        b.iter(|| black_box(fig1::run(Scale::Quick).mean_cpu_used()))
+    });
+}
+
+fn fig2_characterization(c: &mut Criterion) {
+    c.bench_function("fig2_characterization", |b| {
+        b.iter(|| black_box(fig2::run(Scale::Quick).heterogeneity_spread()))
+    });
+}
+
+fn table2_validation(c: &mut Criterion) {
+    c.bench_function("table2_validation", |b| {
+        b.iter(|| black_box(table2::run(Scale::Quick).worst_parallel_avg()))
+    });
+}
+
+fn fig3_density(c: &mut Criterion) {
+    c.bench_function("fig3_density", |b| {
+        b.iter(|| black_box(fig3::run(Scale::Quick).sweeps.len()))
+    });
+}
+
+fn fig5_single_job(c: &mut Criterion) {
+    c.bench_function("fig5_single_job", |b| {
+        b.iter(|| black_box(fig5::run(Scale::Quick).mean_speedup_pct()))
+    });
+}
+
+fn fig6_multi_batch(c: &mut Criterion) {
+    c.bench_function("fig6_multi_batch", |b| {
+        b.iter(|| black_box(fig67::run(Scale::Quick).mean_speedup_pct()))
+    });
+}
+
+fn fig7_utilization(c: &mut Criterion) {
+    c.bench_function("fig7_utilization", |b| {
+        b.iter(|| black_box(fig67::run(Scale::Quick).quasar.busy_utilization))
+    });
+}
+
+fn fig8_low_latency(c: &mut Criterion) {
+    c.bench_function("fig8_low_latency", |b| {
+        b.iter(|| black_box(fig8::run(Scale::Quick).traces.len()))
+    });
+}
+
+fn fig9_stateful(c: &mut Criterion) {
+    c.bench_function("fig9_stateful", |b| {
+        b.iter(|| black_box(fig910::run(Scale::Quick).outcomes.len()))
+    });
+}
+
+fn fig10_usage(c: &mut Criterion) {
+    c.bench_function("fig10_usage", |b| {
+        b.iter(|| black_box(fig910::run(Scale::Quick).usage_windows.len()))
+    });
+}
+
+fn fig11_cloud(c: &mut Criterion) {
+    c.bench_function("fig11_cloud", |b| {
+        b.iter(|| {
+            let r = fig11::run(Scale::Quick);
+            black_box(r.run_named("quasar").map(|x| x.mean_normalized()))
+        })
+    });
+}
+
+fn adaptation_detection(c: &mut Criterion) {
+    c.bench_function("adaptation_detection", |b| {
+        b.iter(|| black_box(adaptation::run(Scale::Quick).phase_detection_rate))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = bench_config();
+    targets = fig1_motivation, fig2_characterization, table2_validation, fig3_density,
+        fig5_single_job, fig6_multi_batch, fig7_utilization, fig8_low_latency,
+        fig9_stateful, fig10_usage, fig11_cloud, adaptation_detection
+}
+criterion_main!(figures);

@@ -1,0 +1,154 @@
+//! Microbenchmarks of the building blocks: SVD, PQ-reconstruction,
+//! four-way classification, greedy scheduling, and simulator ticks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use quasar_cf::{DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix};
+use quasar_cluster::{managers::NullManager, ClusterSpec, SimConfig, Simulation};
+use quasar_core::{Axes, Classifier, GreedyScheduler, Profiler};
+use quasar_experiments::local_history;
+use quasar_interference::PressureVector;
+use quasar_workloads::generate::Generator;
+use quasar_workloads::{Dataset, PlatformCatalog, Priority, QosTarget, WorkloadClass};
+
+fn svd_of_history_sized_matrix(c: &mut Criterion) {
+    // The shape the classifier decomposes on every arrival: ~25 training
+    // rows by ~80 scale-up columns.
+    let a = DenseMatrix::from_fn(25, 81, |r, cc| {
+        ((r * 13 + cc * 7) % 17) as f64 * 0.25 + (r as f64) * 0.1
+    });
+    c.bench_function("svd_25x81", |b| b.iter(|| black_box(quasar_cf::svd(&a))));
+}
+
+fn pq_reconstruction(c: &mut Criterion) {
+    let mut sparse = SparseMatrix::new(25, 81);
+    for r in 0..25 {
+        for col in 0..81 {
+            if r < 24 || col % 40 == 0 {
+                sparse.insert(r, col, ((r + 1) * (col + 2)) as f64 / 50.0);
+            }
+        }
+    }
+    c.bench_function("pq_sgd_25x81", |b| {
+        b.iter(|| black_box(PqModel::train(&sparse, &SgdConfig::default())))
+    });
+    c.bench_function("reconstruct_row_25x81", |b| {
+        let history = DenseMatrix::from_fn(24, 81, |r, cc| ((r + 1) * (cc + 2)) as f64 / 50.0);
+        b.iter(|| {
+            black_box(
+                Reconstructor::new()
+                    .reconstruct_row(&history, &[(0, 2.0 / 50.0), (40, 84.0 / 50.0)])
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn profile_and_classify(c: &mut Criterion) {
+    let history = local_history();
+    let axes = history.axes().clone();
+    let catalog = PlatformCatalog::local();
+    c.bench_function("profile_plus_classify_hadoop", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    ClusterSpec::uniform(catalog.clone(), 1),
+                    Box::new(NullManager),
+                    SimConfig::default(),
+                );
+                let mut generator = Generator::new(catalog.clone(), 77);
+                let job = generator.analytics_job(
+                    WorkloadClass::Hadoop,
+                    "bench",
+                    Dataset::new("d", 20.0, 1.0),
+                    2,
+                    1_800.0,
+                    Priority::Guaranteed,
+                );
+                let id = job.id();
+                sim.submit_at(job, 0.0);
+                sim.run_until(5.0);
+                (sim, id)
+            },
+            |(mut sim, id)| {
+                let mut profiler = Profiler::new(2, 1);
+                let data = profiler.profile(sim.world_mut(), &axes, id);
+                black_box(Classifier::new().classify(history, &data))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn greedy_planning(c: &mut Criterion) {
+    use quasar_core::greedy::CandidateServer;
+    let history = local_history();
+    let axes: &Axes = history.axes();
+    // A plausible classification: linear-ish speeds.
+    let class = quasar_core::Classification {
+        kind: quasar_core::GoalKind::Qps,
+        scale_up_speed: axes
+            .scale_up
+            .iter()
+            .map(|r| r.cores as f64 * 1_000.0)
+            .collect(),
+        scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64 * 2_000.0).collect()),
+        hetero_speed: (0..axes.platforms.len()).map(|i| 1.0 + i as f64 * 0.1).collect(),
+        params_speed: None,
+        tolerated: PressureVector::uniform(50.0),
+        caused: PressureVector::uniform(15.0),
+        runtime_calibration: 1.0,
+    };
+    // A 1000-server candidate pool: the paper stresses msec-scale
+    // decisions "even for systems with thousands of servers".
+    let candidates: Vec<CandidateServer> = (0..1000)
+        .map(|i| CandidateServer {
+            server: i,
+            platform_index: i % axes.platforms.len(),
+            free_cores: 4 + (i % 21) as u32,
+            free_memory_gb: 4.0 + (i % 45) as f64,
+            pressure: PressureVector::uniform((i % 40) as f64),
+            victim_factor: 1.0,
+            hourly_price: 0.5,
+        })
+        .collect();
+    let scheduler = GreedyScheduler::new(32);
+    let target = QosTarget::throughput(500_000.0, 500.0);
+    c.bench_function("greedy_plan_1000_servers", |b| {
+        b.iter(|| black_box(scheduler.plan(axes, &class, &target, &candidates)))
+    });
+}
+
+fn simulation_tick(c: &mut Criterion) {
+    let catalog = PlatformCatalog::local();
+    c.bench_function("simulate_200_ticks_40_servers", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    ClusterSpec::uniform(catalog.clone(), 4),
+                    Box::new(NullManager),
+                    SimConfig::default(),
+                );
+                let mut generator = Generator::new(catalog.clone(), 9);
+                for (i, job) in generator.best_effort_fill(20).into_iter().enumerate() {
+                    sim.submit_at(job, i as f64);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until(1_000.0);
+                black_box(sim.world().now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = svd_of_history_sized_matrix, pq_reconstruction, profile_and_classify,
+        greedy_planning, simulation_tick
+}
+criterion_main!(micro);

@@ -1,0 +1,17 @@
+//! Benchmark crate for the Quasar reproduction.
+//!
+//! The Criterion benches live under `benches/`:
+//!
+//! * `figures.rs` — one bench per paper table/figure, each invoking the
+//!   corresponding `quasar-experiments` driver at
+//!   [`quasar_experiments::Scale::Quick`] and printing the regenerated
+//!   rows/series once per run.
+//! * `micro.rs` — microbenchmarks of the building blocks: SVD,
+//!   PQ-reconstruction, the four-way classification, greedy scheduling,
+//!   and a simulation tick.
+//! * `ablations.rs` — the design-choice ablations called out in
+//!   DESIGN.md §5 (joint vs decoupled allocation, 4-parallel vs
+//!   exhaustive classification, profiling density, CF reconstruction vs
+//!   a column-mean predictor).
+
+pub use quasar_experiments as experiments;

@@ -1,0 +1,306 @@
+//! PQ-reconstruction: a latent-factor model trained with SGD.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dense::DenseMatrix;
+use crate::sparse::SparseMatrix;
+use crate::svd::{svd, Svd};
+
+/// Hyper-parameters for the SGD training loop.
+///
+/// The paper (§3.2) notes that the learning rate `η` and regularization
+/// factor `λ` "are determined empirically"; these defaults converge for the
+/// small, per-classification matrices Quasar builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Regularization factor `λ`.
+    pub regularization: f64,
+    /// Maximum number of passes over the observed entries.
+    pub max_epochs: usize,
+    /// Stop once the L2 norm of residuals over observed entries falls
+    /// below this, relative to the number of observations.
+    pub tolerance: f64,
+    /// Fraction of total squared spectral energy retained when truncating
+    /// the SVD initialization.
+    pub energy: f64,
+    /// Hard cap on the latent rank.
+    pub max_rank: usize,
+    /// Seed for shuffling the training order.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> SgdConfig {
+        SgdConfig {
+            learning_rate: 0.015,
+            regularization: 0.005,
+            max_epochs: 800,
+            tolerance: 1e-4,
+            energy: 0.95,
+            max_rank: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained latent-factor model `r_ui ≈ μ + b_u + q_u · p_i`.
+///
+/// Rows are workloads (`u`), columns are configurations (`i`). `Q` holds
+/// one latent vector per row, `P` one per column; `μ` is the global mean
+/// and `b_u` the per-row bias, exactly the terms of the paper's SGD update
+/// equations.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_cf::{PqModel, SgdConfig, SparseMatrix};
+///
+/// let mut a = SparseMatrix::new(4, 4);
+/// for r in 0..4 {
+///     for c in 0..4 {
+///         if (r + c) % 2 == 0 {
+///             a.insert(r, c, (r as f64 + 1.0) * (c as f64 + 1.0));
+///         }
+///     }
+/// }
+/// let model = PqModel::train(&a, &SgdConfig::default());
+/// // Observed entries are fitted closely.
+/// assert!((model.predict(0, 0) - 1.0).abs() < 0.7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PqModel {
+    mu: f64,
+    row_bias: Vec<f64>,
+    row_factors: DenseMatrix,
+    col_factors: DenseMatrix,
+    rank: usize,
+    epochs_run: usize,
+    final_residual: f64,
+}
+
+impl PqModel {
+    /// Trains a model on the observed entries of `a`.
+    ///
+    /// Initialization follows the paper: SVD of the (mean-filled) matrix,
+    /// then `Q ← U` and `Pᵀ ← Σ·Vᵀ`, then SGD over the observed entries
+    /// until the residual norm becomes marginal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has no observed entries.
+    pub fn train(a: &SparseMatrix, config: &SgdConfig) -> PqModel {
+        assert!(!a.is_empty(), "cannot train on an empty matrix");
+
+        let mu = a.mean().expect("matrix is non-empty");
+        let mut row_bias = vec![0.0; a.rows()];
+        for (r, bias) in row_bias.iter_mut().enumerate() {
+            let entries = a.row_entries(r);
+            if !entries.is_empty() {
+                let mean: f64 = entries.iter().map(|(_, v)| v).sum::<f64>() / entries.len() as f64;
+                *bias = mean - mu;
+            }
+        }
+
+        // Residual matrix for initialization: observed minus (μ + b_u),
+        // missing cells filled via column means of the residuals.
+        let mut residuals = SparseMatrix::new(a.rows(), a.cols());
+        for (r, c, v) in a.iter() {
+            residuals.insert(r, c, v - mu - row_bias[r]);
+        }
+        let filled = residuals.to_dense_filled();
+        let decomposition: Svd = svd(&filled);
+        let rank = decomposition
+            .rank_for_energy(config.energy)
+            .min(config.max_rank)
+            .min(a.rows())
+            .min(a.cols())
+            .max(1);
+
+        // Q ← U_r, P ← V_r · Σ_r (so that Q·Pᵀ = U Σ Vᵀ).
+        let mut row_factors = DenseMatrix::zeros(a.rows(), rank);
+        for r in 0..a.rows() {
+            for k in 0..rank {
+                row_factors.set(r, k, decomposition.u.get(r, k));
+            }
+        }
+        let mut col_factors = DenseMatrix::zeros(a.cols(), rank);
+        for c in 0..a.cols() {
+            for k in 0..rank {
+                col_factors.set(c, k, decomposition.v.get(c, k) * decomposition.singular_values[k]);
+            }
+        }
+
+        let mut model = PqModel {
+            mu,
+            row_bias,
+            row_factors,
+            col_factors,
+            rank,
+            epochs_run: 0,
+            final_residual: f64::INFINITY,
+        };
+        model.run_sgd(a, config);
+        model
+    }
+
+    fn run_sgd(&mut self, a: &SparseMatrix, config: &SgdConfig) {
+        let mut order: Vec<(usize, usize, f64)> = a.iter().collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let eta = config.learning_rate;
+        let lambda = config.regularization;
+
+        for epoch in 0..config.max_epochs {
+            // Fisher-Yates shuffle of the visit order each epoch.
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut sq_err = 0.0;
+            for &(u, i, r_ui) in &order {
+                let err = r_ui - self.predict(u, i);
+                sq_err += err * err;
+                self.row_bias[u] += eta * (err - lambda * self.row_bias[u]);
+                for k in 0..self.rank {
+                    let q = self.row_factors.get(u, k);
+                    let p = self.col_factors.get(i, k);
+                    self.row_factors.set(u, k, q + eta * (err * p - lambda * q));
+                    self.col_factors.set(i, k, p + eta * (err * q - lambda * p));
+                }
+            }
+            self.epochs_run = epoch + 1;
+            self.final_residual = (sq_err / order.len() as f64).sqrt();
+            if self.final_residual < config.tolerance {
+                break;
+            }
+        }
+    }
+
+    /// Predicted value for row `u`, column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn predict(&self, u: usize, i: usize) -> f64 {
+        let mut dot = 0.0;
+        for k in 0..self.rank {
+            dot += self.row_factors.get(u, k) * self.col_factors.get(i, k);
+        }
+        self.mu + self.row_bias[u] + dot
+    }
+
+    /// Dense matrix of predictions for every cell.
+    pub fn predict_all(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.row_factors.rows(), self.col_factors.rows(), |u, i| {
+            self.predict(u, i)
+        })
+    }
+
+    /// Latent rank of the model.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of SGD epochs actually run.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// RMS residual over the observed entries after training.
+    pub fn final_residual(&self) -> f64 {
+        self.final_residual
+    }
+
+    /// Global mean `μ`.
+    pub fn global_mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Row bias `b_u`.
+    pub fn row_bias(&self, u: usize) -> f64 {
+        self.row_bias[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a sparse view of a low-rank matrix, keeping `keep` of every
+    /// `out_of` cells.
+    fn low_rank_sparse(rows: usize, cols: usize, keep: usize, out_of: usize) -> (SparseMatrix, DenseMatrix) {
+        let truth = DenseMatrix::from_fn(rows, cols, |r, c| {
+            3.0 + (r as f64 + 1.0) * 0.7 * (c as f64 + 1.0) + (r as f64) * 0.5
+        });
+        let mut sparse = SparseMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * cols + c) % out_of < keep {
+                    sparse.insert(r, c, truth.get(r, c));
+                }
+            }
+        }
+        (sparse, truth)
+    }
+
+    #[test]
+    fn fits_observed_entries() {
+        let (sparse, _) = low_rank_sparse(6, 6, 2, 3);
+        let model = PqModel::train(&sparse, &SgdConfig::default());
+        for (r, c, v) in sparse.iter() {
+            assert!(
+                (model.predict(r, c) - v).abs() < 0.5,
+                "observed ({r},{c}): predicted {} vs {v}",
+                model.predict(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_missing_entries_of_low_rank_matrix() {
+        let (sparse, truth) = low_rank_sparse(8, 8, 2, 3);
+        let model = PqModel::train(&sparse, &SgdConfig::default());
+        let mut worst: f64 = 0.0;
+        for r in 0..8 {
+            for c in 0..8 {
+                if sparse.get(r, c).is_none() {
+                    let rel = (model.predict(r, c) - truth.get(r, c)).abs() / truth.get(r, c).abs();
+                    worst = worst.max(rel);
+                }
+            }
+        }
+        assert!(worst < 0.25, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn respects_max_rank() {
+        let (sparse, _) = low_rank_sparse(6, 6, 2, 2);
+        let config = SgdConfig {
+            max_rank: 2,
+            ..SgdConfig::default()
+        };
+        let model = PqModel::train(&sparse, &config);
+        assert!(model.rank() <= 2);
+    }
+
+    #[test]
+    fn converges_before_epoch_cap_on_easy_input() {
+        let (sparse, _) = low_rank_sparse(5, 5, 3, 4);
+        let config = SgdConfig {
+            tolerance: 0.05,
+            regularization: 0.005,
+            ..SgdConfig::default()
+        };
+        let model = PqModel::train(&sparse, &config);
+        assert!(model.epochs_run() < config.max_epochs);
+        assert!(model.final_residual() <= 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train on an empty matrix")]
+    fn empty_matrix_panics() {
+        PqModel::train(&SparseMatrix::new(2, 2), &SgdConfig::default());
+    }
+}

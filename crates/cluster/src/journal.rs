@@ -1,0 +1,298 @@
+//! A decision journal: every mutating manager action on the [`crate::World`]
+//! is recorded with its timestamp, so experiments and operators can audit
+//! *why* the cluster looks the way it does — placements, evictions,
+//! resizes, scale-outs, isolation flips.
+//!
+//! # Examples
+//!
+//! ```
+//! use quasar_cluster::journal::{Journal, JournalEvent};
+//!
+//! let mut journal = Journal::new(256);
+//! journal.record(12.5, JournalEvent::Evicted {
+//!     workload: quasar_workloads::WorkloadId(3),
+//!     requeued: true,
+//! });
+//! assert_eq!(journal.len(), 1);
+//! assert!(journal.render().contains("evicted"));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use quasar_workloads::{NodeResources, WorkloadId};
+
+use crate::server::ServerId;
+
+/// One recorded manager action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A placement was committed.
+    Placed {
+        /// Workload placed.
+        workload: WorkloadId,
+        /// Number of nodes in the placement.
+        nodes: usize,
+        /// Total cores committed.
+        cores: u32,
+        /// Activation delay charged (profiling), in seconds.
+        delay_s: f64,
+    },
+    /// A workload was evicted.
+    Evicted {
+        /// Workload evicted.
+        workload: WorkloadId,
+        /// Whether it was requeued (vs killed).
+        requeued: bool,
+    },
+    /// A node was added to a placement (scale-out).
+    NodeAdded {
+        /// Workload grown.
+        workload: WorkloadId,
+        /// Hosting server.
+        server: ServerId,
+        /// Slice added.
+        resources: NodeResources,
+    },
+    /// A node was removed from a placement (reclaim).
+    NodeRemoved {
+        /// Workload shrunk.
+        workload: WorkloadId,
+        /// Server released.
+        server: ServerId,
+    },
+    /// A slice was resized in place (scale-up/down).
+    NodeResized {
+        /// Workload resized.
+        workload: WorkloadId,
+        /// Hosting server.
+        server: ServerId,
+        /// New slice size.
+        resources: NodeResources,
+    },
+    /// Hardware partitioning was toggled.
+    IsolationSet {
+        /// Workload affected.
+        workload: WorkloadId,
+        /// New isolation state.
+        isolated: bool,
+    },
+    /// A batch workload completed.
+    Completed {
+        /// Workload that finished.
+        workload: WorkloadId,
+    },
+}
+
+impl fmt::Display for JournalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalEvent::Placed {
+                workload,
+                nodes,
+                cores,
+                delay_s,
+            } => write!(
+                f,
+                "{workload} placed on {nodes} nodes ({cores} cores, +{delay_s:.0}s delay)"
+            ),
+            JournalEvent::Evicted { workload, requeued } => {
+                if *requeued {
+                    write!(f, "{workload} evicted (requeued)")
+                } else {
+                    write!(f, "{workload} evicted (killed)")
+                }
+            }
+            JournalEvent::NodeAdded {
+                workload,
+                server,
+                resources,
+            } => write!(
+                f,
+                "{workload} scaled out to {server} ({} cores, {:.0}GB)",
+                resources.cores, resources.memory_gb
+            ),
+            JournalEvent::NodeRemoved { workload, server } => {
+                write!(f, "{workload} released {server}")
+            }
+            JournalEvent::NodeResized {
+                workload,
+                server,
+                resources,
+            } => write!(
+                f,
+                "{workload} resized on {server} to {} cores, {:.0}GB",
+                resources.cores, resources.memory_gb
+            ),
+            JournalEvent::IsolationSet { workload, isolated } => {
+                if *isolated {
+                    write!(f, "{workload} partitioning enabled")
+                } else {
+                    write!(f, "{workload} partitioning disabled")
+                }
+            }
+            JournalEvent::Completed { workload } => write!(f, "{workload} completed"),
+        }
+    }
+}
+
+/// A bounded ring of timestamped [`JournalEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    capacity: usize,
+    entries: VecDeque<(f64, JournalEvent)>,
+    dropped: usize,
+}
+
+impl Journal {
+    /// A journal keeping at most `capacity` recent events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Journal {
+        assert!(capacity > 0, "journal capacity must be positive");
+        Journal {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event at simulation time `at_s`.
+    pub fn record(&mut self, at_s: f64, event: JournalEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at_s, event));
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Iterates over `(time, event)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, JournalEvent)> {
+        self.entries.iter()
+    }
+
+    /// Events affecting one workload, oldest first.
+    pub fn for_workload(&self, id: WorkloadId) -> Vec<&(f64, JournalEvent)> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    JournalEvent::Placed { workload, .. }
+                    | JournalEvent::Evicted { workload, .. }
+                    | JournalEvent::NodeAdded { workload, .. }
+                    | JournalEvent::NodeRemoved { workload, .. }
+                    | JournalEvent::NodeResized { workload, .. }
+                    | JournalEvent::IsolationSet { workload, .. }
+                    | JournalEvent::Completed { workload }
+                    if *workload == id
+                )
+            })
+            .collect()
+    }
+
+    /// Renders the journal as one line per event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.dropped);
+        }
+        for (t, e) in &self.entries {
+            let _ = writeln!(out, "[{t:>9.1}s] {e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placed(w: u64) -> JournalEvent {
+        JournalEvent::Placed {
+            workload: WorkloadId(w),
+            nodes: 2,
+            cores: 16,
+            delay_s: 30.0,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut j = Journal::new(8);
+        j.record(1.0, placed(1));
+        j.record(2.0, JournalEvent::Completed {
+            workload: WorkloadId(1),
+        });
+        let times: Vec<f64> = j.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let mut j = Journal::new(2);
+        j.record(1.0, placed(1));
+        j.record(2.0, placed(2));
+        j.record(3.0, placed(3));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.iter().next().unwrap().0, 2.0);
+        assert!(j.render().contains("1 earlier events dropped"));
+    }
+
+    #[test]
+    fn per_workload_filter() {
+        let mut j = Journal::new(8);
+        j.record(1.0, placed(1));
+        j.record(2.0, placed(2));
+        j.record(3.0, JournalEvent::Evicted {
+            workload: WorkloadId(1),
+            requeued: false,
+        });
+        assert_eq!(j.for_workload(WorkloadId(1)).len(), 2);
+        assert_eq!(j.for_workload(WorkloadId(2)).len(), 1);
+        assert_eq!(j.for_workload(WorkloadId(9)).len(), 0);
+    }
+
+    #[test]
+    fn every_event_renders_nonempty() {
+        let events = [
+            placed(1),
+            JournalEvent::Evicted { workload: WorkloadId(1), requeued: true },
+            JournalEvent::NodeAdded {
+                workload: WorkloadId(1),
+                server: ServerId(2),
+                resources: NodeResources::new(4, 8.0),
+            },
+            JournalEvent::NodeRemoved { workload: WorkloadId(1), server: ServerId(2) },
+            JournalEvent::NodeResized {
+                workload: WorkloadId(1),
+                server: ServerId(2),
+                resources: NodeResources::new(8, 16.0),
+            },
+            JournalEvent::IsolationSet { workload: WorkloadId(1), isolated: true },
+            JournalEvent::Completed { workload: WorkloadId(1) },
+        ];
+        for e in events {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The manager trait implemented by Quasar and every baseline.
+
+use quasar_workloads::WorkloadId;
+
+use crate::world::World;
+
+/// A cluster manager: reacts to workload arrivals, periodic ticks, and
+/// batch completions by placing, resizing, and evicting workloads through
+/// the [`World`] API.
+///
+/// Implementations must only use the measurement-bounded `World` methods
+/// (observations, profiling, probes) — never workload ground truth — to
+/// preserve the paper's evaluation methodology.
+pub trait Manager {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// Called once when a workload is submitted. The workload is pending;
+    /// the manager may profile it and place it now, or defer to a later
+    /// tick (e.g. admission control).
+    fn on_arrival(&mut self, world: &mut World, id: WorkloadId);
+
+    /// Called every simulation tick after physics advanced.
+    fn on_tick(&mut self, world: &mut World);
+
+    /// Called when a batch workload completes (resources already freed).
+    fn on_completion(&mut self, world: &mut World, id: WorkloadId);
+}
+
+/// A manager that never places anything; useful for tests and for driving
+/// the world manually.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullManager;
+
+impl Manager for NullManager {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn on_arrival(&mut self, _world: &mut World, _id: WorkloadId) {}
+
+    fn on_tick(&mut self, _world: &mut World) {}
+
+    fn on_completion(&mut self, _world: &mut World, _id: WorkloadId) {}
+}

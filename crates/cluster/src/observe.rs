@@ -1,0 +1,102 @@
+//! Runtime observations handed to managers.
+
+use quasar_workloads::ServiceObservation;
+
+/// What the monitoring layer measured for a workload over the last tick —
+/// the only runtime signal managers receive (paper §3.1: "Quasar monitors
+/// workload performance and adjusts... when needed").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Observation {
+    /// A batch job's progress.
+    Batch {
+        /// Current work rate in work units/second (noisy).
+        rate: f64,
+        /// Fraction of the job completed, in `[0, 1]`.
+        progress: f64,
+        /// Projected total execution time at the current rate, in seconds.
+        projected_total_s: f64,
+        /// Seconds the job has been running.
+        elapsed_s: f64,
+    },
+    /// A service's latest measurement window.
+    Service(ServiceObservation),
+}
+
+impl Observation {
+    /// Whether the workload currently tracks its target: a batch job is on
+    /// track when its projected total time fits the `target_s` deadline
+    /// (with `slack` tolerance, e.g. 0.05); a service when the window met
+    /// its throughput/latency target.
+    pub fn on_track(&self, target: &quasar_workloads::QosTarget, slack: f64) -> bool {
+        match (self, target) {
+            (
+                Observation::Batch {
+                    projected_total_s, ..
+                },
+                quasar_workloads::QosTarget::CompletionTime { seconds },
+            ) => *projected_total_s <= seconds * (1.0 + slack),
+            // IPS targets are floors: a job is on track only while its
+            // measured rate stays at or above the floor (the slack covers
+            // the deadline form, where a small overshoot is tolerable).
+            (
+                Observation::Batch { rate, .. },
+                quasar_workloads::QosTarget::Ips { ips },
+            ) => *rate >= *ips,
+            (Observation::Service(obs), t @ quasar_workloads::QosTarget::Throughput { .. }) => {
+                obs.meets(t)
+            }
+            _ => false,
+        }
+    }
+
+    /// The service observation, if this is a service.
+    pub fn as_service(&self) -> Option<&ServiceObservation> {
+        match self {
+            Observation::Service(o) => Some(o),
+            Observation::Batch { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_workloads::QosTarget;
+
+    #[test]
+    fn batch_on_track_respects_slack() {
+        let obs = Observation::Batch {
+            rate: 1.0,
+            progress: 0.5,
+            projected_total_s: 1040.0,
+            elapsed_s: 520.0,
+        };
+        let target = QosTarget::completion(1000.0);
+        assert!(obs.on_track(&target, 0.05));
+        assert!(!obs.on_track(&target, 0.01));
+    }
+
+    #[test]
+    fn ips_on_track_is_a_floor() {
+        let obs = Observation::Batch {
+            rate: 90.0,
+            progress: 0.1,
+            projected_total_s: 100.0,
+            elapsed_s: 10.0,
+        };
+        assert!(obs.on_track(&QosTarget::ips(90.0), 0.05));
+        assert!(obs.on_track(&QosTarget::ips(85.0), 0.05));
+        assert!(!obs.on_track(&QosTarget::ips(92.0), 0.05));
+    }
+
+    #[test]
+    fn mismatched_kinds_are_off_track() {
+        let obs = Observation::Batch {
+            rate: 1.0,
+            progress: 0.0,
+            projected_total_s: 1.0,
+            elapsed_s: 0.0,
+        };
+        assert!(!obs.on_track(&QosTarget::throughput(1.0, 1.0), 0.05));
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated servers.
+
+use std::fmt;
+
+use quasar_workloads::{NodeResources, Platform, PlatformId};
+
+/// Identifier of a server within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub usize);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One physical server: a platform instance plus bookkeeping of the
+/// resources currently committed to placements.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_cluster::{Server, ServerId};
+/// use quasar_workloads::{NodeResources, PlatformCatalog};
+///
+/// let catalog = PlatformCatalog::local();
+/// let platform = catalog.highest_end();
+/// let mut server = Server::new(ServerId(0), platform);
+/// assert!(server.fits(NodeResources::new(platform.cores, platform.memory_gb)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Server {
+    id: ServerId,
+    platform: PlatformId,
+    total_cores: u32,
+    total_memory_gb: f64,
+    used_cores: u32,
+    used_memory_gb: f64,
+}
+
+impl Server {
+    /// Creates a server of the given platform.
+    pub fn new(id: ServerId, platform: &Platform) -> Server {
+        Server {
+            id,
+            platform: platform.id,
+            total_cores: platform.cores,
+            total_memory_gb: platform.memory_gb,
+            used_cores: 0,
+            used_memory_gb: 0.0,
+        }
+    }
+
+    /// Server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Platform id of this server.
+    pub fn platform(&self) -> PlatformId {
+        self.platform
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+
+    /// Total memory in GB.
+    pub fn total_memory_gb(&self) -> f64 {
+        self.total_memory_gb
+    }
+
+    /// Cores currently committed.
+    pub fn used_cores(&self) -> u32 {
+        self.used_cores
+    }
+
+    /// Memory currently committed, in GB.
+    pub fn used_memory_gb(&self) -> f64 {
+        self.used_memory_gb
+    }
+
+    /// Free cores.
+    pub fn free_cores(&self) -> u32 {
+        self.total_cores - self.used_cores
+    }
+
+    /// Free memory in GB.
+    pub fn free_memory_gb(&self) -> f64 {
+        (self.total_memory_gb - self.used_memory_gb).max(0.0)
+    }
+
+    /// Whether an allocation fits in the remaining capacity.
+    pub fn fits(&self, res: NodeResources) -> bool {
+        res.cores <= self.free_cores() && res.memory_gb <= self.free_memory_gb() + 1e-9
+    }
+
+    /// Fraction of cores committed, in `[0, 1]`.
+    pub fn core_commit_fraction(&self) -> f64 {
+        self.used_cores as f64 / self.total_cores as f64
+    }
+
+    /// Commits an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation does not fit; callers must check
+    /// [`Server::fits`] first (the cluster does).
+    pub(crate) fn commit(&mut self, res: NodeResources) {
+        assert!(self.fits(res), "allocation exceeds server capacity");
+        self.used_cores += res.cores;
+        self.used_memory_gb += res.memory_gb;
+    }
+
+    /// Releases a previously committed allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than was committed.
+    pub(crate) fn release(&mut self, res: NodeResources) {
+        assert!(
+            res.cores <= self.used_cores && res.memory_gb <= self.used_memory_gb + 1e-6,
+            "releasing more than committed"
+        );
+        self.used_cores -= res.cores;
+        self.used_memory_gb = (self.used_memory_gb - res.memory_gb).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_workloads::PlatformCatalog;
+
+    fn server() -> Server {
+        let catalog = PlatformCatalog::local();
+        Server::new(ServerId(3), catalog.by_name("J").unwrap())
+    }
+
+    #[test]
+    fn commit_and_release_round_trip() {
+        let mut s = server();
+        let r = NodeResources::new(8, 16.0);
+        s.commit(r);
+        assert_eq!(s.free_cores(), 16);
+        assert_eq!(s.free_memory_gb(), 32.0);
+        s.release(r);
+        assert_eq!(s.free_cores(), 24);
+        assert_eq!(s.used_memory_gb(), 0.0);
+    }
+
+    #[test]
+    fn fits_checks_both_dimensions() {
+        let mut s = server();
+        s.commit(NodeResources::new(20, 8.0));
+        assert!(!s.fits(NodeResources::new(8, 1.0)), "cores exhausted");
+        assert!(!s.fits(NodeResources::new(1, 48.0)), "memory exhausted");
+        assert!(s.fits(NodeResources::new(4, 40.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds server capacity")]
+    fn overcommit_panics() {
+        let mut s = server();
+        s.commit(NodeResources::new(25, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more than committed")]
+    fn over_release_panics() {
+        let mut s = server();
+        s.release(NodeResources::new(1, 1.0));
+    }
+
+    #[test]
+    fn commit_fraction() {
+        let mut s = server();
+        s.commit(NodeResources::new(12, 4.0));
+        assert!((s.core_commit_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! The simulation driver: event queue plus the tick loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use quasar_interference::InterferenceProfile;
+use quasar_workloads::{Workload, WorkloadId};
+
+use crate::cluster::{ClusterSpec, ClusterState};
+use crate::managers::Manager;
+use crate::world::World;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Physics/monitoring tick in seconds.
+    pub tick_s: f64,
+    /// Multiplicative measurement noise (e.g. 0.03 = ±3%).
+    pub noise: f64,
+    /// Utilization sampling interval in seconds.
+    pub metrics_interval_s: f64,
+    /// RNG seed for the world (noise).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            tick_s: 5.0,
+            noise: 0.03,
+            metrics_interval_s: 60.0,
+            seed: 0xC10D,
+        }
+    }
+}
+
+/// A mid-run behavioural change of a workload, used to exercise the phase
+/// detection of §4.1.
+#[derive(Debug, Clone)]
+pub enum PhaseChange {
+    /// Multiply the workload's intrinsic rate/capacity by this factor.
+    RateFactor(f64),
+    /// Replace the workload's interference profile.
+    Interference(InterferenceProfile),
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(Box<Workload>),
+    Phase(WorkloadId, PhaseChange),
+}
+
+struct Event {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time (then sequence for stability).
+        other
+            .time_s
+            .partial_cmp(&self.time_s)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulation: a [`World`], a [`Manager`], and a queue of future events.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_cluster::{ClusterSpec, SimConfig, Simulation, managers::NullManager};
+/// use quasar_workloads::PlatformCatalog;
+///
+/// let spec = ClusterSpec::uniform(PlatformCatalog::local(), 1);
+/// let mut sim = Simulation::new(spec, Box::new(NullManager), SimConfig::default());
+/// sim.run_until(30.0);
+/// assert_eq!(sim.world().now(), 30.0);
+/// ```
+pub struct Simulation {
+    world: World,
+    manager: Box<dyn Manager>,
+    events: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation over a freshly-constructed cluster.
+    pub fn new(spec: ClusterSpec, manager: Box<dyn Manager>, config: SimConfig) -> Simulation {
+        assert!(config.tick_s > 0.0, "tick must be positive");
+        let world = World::new(
+            ClusterState::new(spec),
+            config.tick_s,
+            config.noise,
+            config.metrics_interval_s,
+            config.seed,
+        );
+        Simulation {
+            world,
+            manager,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules a workload submission at time `at_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_s` is in the past.
+    pub fn submit_at(&mut self, workload: Workload, at_s: f64) {
+        assert!(at_s >= self.world.now(), "cannot submit in the past");
+        self.push(at_s, EventKind::Arrival(Box::new(workload)));
+    }
+
+    /// Schedules a phase change for a workload at time `at_s`.
+    pub fn schedule_phase_change(&mut self, id: WorkloadId, at_s: f64, change: PhaseChange) {
+        assert!(at_s >= self.world.now(), "cannot schedule in the past");
+        self.push(at_s, EventKind::Phase(id, change));
+    }
+
+    fn push(&mut self, time_s: f64, kind: EventKind) {
+        self.events.push(Event {
+            time_s,
+            seq: self.next_seq,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The simulated world (for inspection and result extraction).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access, for test harnesses that drive the world
+    /// directly.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The manager's report name.
+    pub fn manager_name(&self) -> String {
+        self.manager.name().to_string()
+    }
+
+    /// Runs the simulation until `t_end_s` (inclusive of the final tick).
+    ///
+    /// Each iteration: deliver due events (arrivals → `on_arrival`, phase
+    /// changes → world mutation), advance physics one tick, notify
+    /// completions, then give the manager its periodic `on_tick`.
+    pub fn run_until(&mut self, t_end_s: f64) {
+        let tick = self.world.tick_s();
+        while self.world.now() + 1e-9 < t_end_s {
+            let now = self.world.now();
+            // Deliver events due by the end of this tick.
+            while self
+                .events
+                .peek()
+                .map(|e| e.time_s <= now + 1e-9)
+                .unwrap_or(false)
+            {
+                let event = self.events.pop().expect("peeked");
+                match event.kind {
+                    EventKind::Arrival(workload) => {
+                        let id = workload.id();
+                        self.world.submit(*workload);
+                        self.manager.on_arrival(&mut self.world, id);
+                    }
+                    EventKind::Phase(id, change) => match change {
+                        PhaseChange::RateFactor(f) => self.world.apply_phase_rate(id, f),
+                        PhaseChange::Interference(p) => {
+                            self.world.apply_phase_interference(id, p)
+                        }
+                    },
+                }
+            }
+
+            let dt = tick.min(t_end_s - now);
+            let completed = self.world.advance(dt);
+            for id in completed {
+                self.manager.on_completion(&mut self.world, id);
+            }
+            self.manager.on_tick(&mut self.world);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managers::NullManager;
+    use crate::placement::NodeAlloc;
+    use crate::world::JobState;
+    use quasar_workloads::generate::Generator;
+    use quasar_workloads::{
+        Dataset, FrameworkParams, NodeResources, PlatformCatalog, Priority, WorkloadClass,
+    };
+
+    /// A manager that places every arrival on the emptiest server at full
+    /// size, for driver tests.
+    struct GreedyFullServer;
+
+    impl Manager for GreedyFullServer {
+        fn name(&self) -> &str {
+            "greedy-full"
+        }
+
+        fn on_arrival(&mut self, world: &mut World, id: WorkloadId) {
+            let sid = world
+                .servers()
+                .iter()
+                .filter(|s| s.used_cores() == 0)
+                .max_by_key(|s| s.total_cores())
+                .map(|s| s.id());
+            if let Some(sid) = sid {
+                let platform = world.platform_of(sid);
+                let res = NodeResources::all_of(platform);
+                let _ = world.place(
+                    id,
+                    vec![NodeAlloc::immediate(sid, res)],
+                    FrameworkParams::default(),
+                );
+            }
+        }
+
+        fn on_tick(&mut self, _world: &mut World) {}
+
+        fn on_completion(&mut self, _world: &mut World, _id: WorkloadId) {}
+    }
+
+    fn sim(manager: Box<dyn Manager>) -> Simulation {
+        let spec = ClusterSpec::uniform(PlatformCatalog::local(), 1);
+        Simulation::new(
+            spec,
+            manager,
+            SimConfig {
+                noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut s = sim(Box::new(NullManager));
+        s.run_until(33.0);
+        assert!((s.world().now() - 33.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrivals_are_delivered_in_order() {
+        let mut s = sim(Box::new(GreedyFullServer));
+        let mut generator = Generator::new(PlatformCatalog::local(), 1);
+        let a = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "a",
+            Dataset::new("d", 5.0, 1.0),
+            1,
+            300.0,
+            Priority::Guaranteed,
+        );
+        let b = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "b",
+            Dataset::new("d", 5.0, 1.0),
+            1,
+            300.0,
+            Priority::Guaranteed,
+        );
+        let (ida, idb) = (a.id(), b.id());
+        s.submit_at(a, 10.0);
+        s.submit_at(b, 20.0);
+        s.run_until(15.0);
+        assert_eq!(s.world().state(ida), JobState::Running);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.world().state(idb)
+        }))
+        .is_err(), "b not yet submitted");
+        s.run_until(25.0);
+        assert_eq!(s.world().state(idb), JobState::Running);
+    }
+
+    #[test]
+    fn phase_change_slows_a_job() {
+        let mut s = sim(Box::new(GreedyFullServer));
+        let mut generator = Generator::new(PlatformCatalog::local(), 2);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "a",
+            Dataset::new("d", 5.0, 1.0),
+            1,
+            500.0,
+            Priority::Guaranteed,
+        );
+        let id = job.id();
+        s.submit_at(job, 0.0);
+        s.schedule_phase_change(id, 50.0, PhaseChange::RateFactor(0.01));
+        s.run_until(49.0);
+        let before = match s.world().observation(id).unwrap() {
+            crate::observe::Observation::Batch { rate, .. } => rate,
+            _ => unreachable!(),
+        };
+        s.run_until(60.0);
+        let after = match s.world().observation(id).unwrap() {
+            crate::observe::Observation::Batch { rate, .. } => rate,
+            _ => unreachable!(),
+        };
+        assert!(after < before * 0.1, "phase change must slow the job");
+    }
+
+    #[test]
+    fn completions_notify_manager_and_free_resources() {
+        struct CountCompletions(std::rc::Rc<std::cell::Cell<usize>>);
+        impl Manager for CountCompletions {
+            fn name(&self) -> &str {
+                "count"
+            }
+            fn on_arrival(&mut self, world: &mut World, id: WorkloadId) {
+                GreedyFullServer.on_arrival(world, id);
+            }
+            fn on_tick(&mut self, _world: &mut World) {}
+            fn on_completion(&mut self, _world: &mut World, _id: WorkloadId) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut s = sim(Box::new(CountCompletions(counter.clone())));
+        let mut generator = Generator::new(PlatformCatalog::local(), 3);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "a",
+            Dataset::new("d", 2.0, 1.0),
+            1,
+            120.0,
+            Priority::Guaranteed,
+        );
+        s.submit_at(job, 0.0);
+        s.run_until(5_000.0);
+        assert_eq!(counter.get(), 1, "exactly one completion callback");
+        assert_eq!(s.world().used_cores(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot submit in the past")]
+    fn past_submission_panics() {
+        let mut s = sim(Box::new(NullManager));
+        s.run_until(10.0);
+        let mut generator = Generator::new(PlatformCatalog::local(), 4);
+        let job = generator.single_node_job("x", 60.0, Priority::BestEffort);
+        s.submit_at(job, 5.0);
+    }
+}

@@ -1,0 +1,1236 @@
+//! The simulated world: cluster physics plus the manager-facing API.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use quasar_interference::{InterferenceProfile, PressureVector, SharedResource};
+use quasar_workloads::{
+    FrameworkParams, NodeResources, PerfModel, Platform, PlatformCatalog, QosTarget, Workload,
+    WorkloadClass, WorkloadId, WorkloadSpec,
+};
+
+use crate::cluster::{ClusterState, PlaceError};
+use crate::journal::{Journal, JournalEvent};
+use crate::metrics::{HeatmapSample, MetricsRecorder};
+use crate::observe::Observation;
+use crate::placement::{NodeAlloc, Placement};
+use crate::profile::{ProfileConfig, ProfileResult};
+use crate::server::{Server, ServerId};
+
+/// How much of its neighbours' (and its own outgoing) pressure a
+/// partitioned placement still sees/exerts (§4.4 extension: cache
+/// partitioning and NIC rate limiting cut contention roughly in half).
+const ISOLATION_PRESSURE_FACTOR: f64 = 0.5;
+
+/// Capacity retained under partitioning (reserved ways/slices are not
+/// free).
+const ISOLATION_OVERHEAD_FACTOR: f64 = 0.93;
+
+/// Lifecycle state of a workload in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, waiting for a placement.
+    Pending,
+    /// Placed (possibly still in its activation delay).
+    Running,
+    /// Batch job finished its work.
+    Completed,
+    /// Killed (evicted without requeue, or stopped at scenario end).
+    Killed,
+}
+
+/// Final accounting for a batch workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionRecord {
+    /// Workload id.
+    pub id: WorkloadId,
+    /// Workload name.
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// The QoS target it was submitted with.
+    pub target: QosTarget,
+    /// Submission time.
+    pub submitted_s: f64,
+    /// Time the manager committed a placement (if ever).
+    pub placed_s: Option<f64>,
+    /// Completion time (if it finished).
+    pub finished_s: Option<f64>,
+    /// Seconds spent in sandboxed profiling runs (manager overhead).
+    pub profiling_s: f64,
+    /// Whether the job was best-effort.
+    pub best_effort: bool,
+    /// Largest number of cores the job held at any tick.
+    pub peak_cores: u32,
+    /// Reserved resources reported by the manager, if any.
+    pub reserved: Option<(u32, f64)>,
+    /// Total work units of the job (ground truth, for reporting achieved
+    /// rates against IPS targets).
+    pub total_work: f64,
+}
+
+impl CompletionRecord {
+    /// Mean achieved work rate over the execution (work units/second),
+    /// amortized from submission (includes scheduling wait and profiling).
+    pub fn achieved_rate(&self) -> Option<f64> {
+        let exec = self.execution_s()?;
+        if exec > 0.0 && self.total_work.is_finite() {
+            Some(self.total_work / exec)
+        } else {
+            None
+        }
+    }
+
+    /// Mean achieved work rate while actually placed (work units/second)
+    /// — the metric an IPS *floor* is checked against.
+    pub fn achieved_rate_running(&self) -> Option<f64> {
+        let placed = self.placed_s?;
+        let finished = self.finished_s?;
+        let span = finished - placed;
+        if span > 0.0 && self.total_work.is_finite() {
+            Some(self.total_work / span)
+        } else {
+            None
+        }
+    }
+
+    /// End-to-end execution time including all manager overheads
+    /// (submission to completion), as the paper accounts it.
+    pub fn execution_s(&self) -> Option<f64> {
+        self.finished_s.map(|f| f - self.submitted_s)
+    }
+
+    /// Performance normalized to the target (1.0 = exactly on target,
+    /// higher = better). For completion targets this is `target /
+    /// execution`; unfinished jobs score 0.
+    pub fn normalized_performance(&self) -> f64 {
+        match (self.target, self.execution_s()) {
+            (QosTarget::CompletionTime { seconds }, Some(exec)) if exec > 0.0 => seconds / exec,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Final accounting for a latency-critical service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosRecord {
+    /// Workload id.
+    pub id: WorkloadId,
+    /// Workload name.
+    pub name: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// The QoS target.
+    pub target: QosTarget,
+    /// Total queries offered over the run.
+    pub offered_queries: f64,
+    /// Total queries served.
+    pub served_queries: f64,
+    /// Queries served within the latency bound.
+    pub queries_meeting_qos: f64,
+    /// Measurement windows meeting the full QoS target.
+    pub windows_met: u64,
+    /// Total measurement windows while placed.
+    pub windows_total: u64,
+    /// Mean utilization of allocated capacity across windows.
+    pub mean_utilization: f64,
+    /// Largest number of cores the service held at any tick.
+    pub peak_cores: u32,
+    /// Reserved resources reported by the manager, if any.
+    pub reserved: Option<(u32, f64)>,
+}
+
+impl QosRecord {
+    /// Fraction of offered queries that met QoS.
+    pub fn qos_fraction(&self) -> f64 {
+        if self.offered_queries <= 0.0 {
+            1.0
+        } else {
+            self.queries_meeting_qos / self.offered_queries
+        }
+    }
+
+    /// Fraction of offered load that was served at all.
+    pub fn served_fraction(&self) -> f64 {
+        if self.offered_queries <= 0.0 {
+            1.0
+        } else {
+            self.served_queries / self.offered_queries
+        }
+    }
+
+    /// Performance normalized to target: served QPS fraction capped by
+    /// latency compliance.
+    pub fn normalized_performance(&self) -> f64 {
+        self.qos_fraction()
+    }
+}
+
+pub(crate) struct Entry {
+    pub(crate) workload: Workload,
+    pub(crate) state: JobState,
+    pub(crate) remaining_work: f64,
+    pub(crate) submitted_s: f64,
+    pub(crate) placed_s: Option<f64>,
+    pub(crate) finished_s: Option<f64>,
+    pub(crate) profiling_s: f64,
+    pub(crate) rate_factor: f64,
+    pub(crate) phase_interference: Option<InterferenceProfile>,
+    pub(crate) offered_queries: f64,
+    pub(crate) served_queries: f64,
+    pub(crate) queries_meeting_qos: f64,
+    pub(crate) windows_met: u64,
+    pub(crate) windows_total: u64,
+    pub(crate) util_sum: f64,
+    pub(crate) peak_cores: u32,
+    pub(crate) last_obs: Option<Observation>,
+    pub(crate) reserved: Option<(u32, f64)>,
+}
+
+impl Entry {
+    fn new(workload: Workload, now: f64) -> Entry {
+        let remaining_work = workload
+            .model()
+            .as_batch()
+            .map(|b| b.total_work())
+            .unwrap_or(f64::INFINITY);
+        Entry {
+            workload,
+            state: JobState::Pending,
+            remaining_work,
+            submitted_s: now,
+            placed_s: None,
+            finished_s: None,
+            profiling_s: 0.0,
+            rate_factor: 1.0,
+            phase_interference: None,
+            offered_queries: 0.0,
+            served_queries: 0.0,
+            queries_meeting_qos: 0.0,
+            windows_met: 0,
+            windows_total: 0,
+            util_sum: 0.0,
+            peak_cores: 0,
+            last_obs: None,
+            reserved: None,
+        }
+    }
+
+    fn interference(&self) -> &InterferenceProfile {
+        self.phase_interference
+            .as_ref()
+            .unwrap_or_else(|| self.workload.model().interference())
+    }
+}
+
+/// An active contention injection on a server (microbenchmarks used for
+/// in-place classification, phase detection, and straggler checks).
+#[derive(Debug, Clone, Copy)]
+struct Injection {
+    server: ServerId,
+    pressure: PressureVector,
+    until_s: f64,
+}
+
+/// The simulated world: cluster state, workload ground truth, physics, and
+/// the measurement-bounded API managers are allowed to call.
+///
+/// Managers receive `&mut World` in their callbacks. Everything they can
+/// observe is noisy; everything they can do goes through capacity-checked
+/// placement operations.
+pub struct World {
+    now: f64,
+    tick_s: f64,
+    cluster: ClusterState,
+    entries: HashMap<WorkloadId, Entry>,
+    injections: Vec<Injection>,
+    rng: StdRng,
+    noise: f64,
+    metrics: MetricsRecorder,
+    journal: Journal,
+}
+
+impl World {
+    pub(crate) fn new(
+        cluster: ClusterState,
+        tick_s: f64,
+        noise: f64,
+        metrics_interval_s: f64,
+        seed: u64,
+    ) -> World {
+        World {
+            now: 0.0,
+            tick_s,
+            cluster,
+            entries: HashMap::new(),
+            injections: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            noise,
+            metrics: MetricsRecorder::new(metrics_interval_s),
+            journal: Journal::new(100_000),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only manager API.
+    // ------------------------------------------------------------------
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Simulation tick length in seconds.
+    pub fn tick_s(&self) -> f64 {
+        self.tick_s
+    }
+
+    /// The platform catalog.
+    pub fn catalog(&self) -> &PlatformCatalog {
+        self.cluster.catalog()
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        self.cluster.servers()
+    }
+
+    /// One server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        self.cluster.server(id)
+    }
+
+    /// The platform of a server.
+    pub fn platform_of(&self, id: ServerId) -> &Platform {
+        self.cluster.platform_of(id)
+    }
+
+    /// The placement of a workload, if any.
+    pub fn placement(&self, id: WorkloadId) -> Option<&Placement> {
+        self.cluster.placement(id)
+    }
+
+    /// Workloads holding a slice on a server.
+    pub fn workloads_on(&self, server: ServerId) -> Vec<WorkloadId> {
+        self.cluster.workloads_on(server)
+    }
+
+    /// The public spec of a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was never submitted.
+    pub fn spec(&self, id: WorkloadId) -> &WorkloadSpec {
+        self.entry(id).workload.spec()
+    }
+
+    /// The lifecycle state of a workload.
+    pub fn state(&self, id: WorkloadId) -> JobState {
+        self.entry(id).state
+    }
+
+    /// Ids of all submitted workloads, in submission order.
+    pub fn workload_ids(&self) -> Vec<WorkloadId> {
+        let mut ids: Vec<_> = self.entries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Ids of workloads currently in the given state.
+    pub fn ids_in_state(&self, state: JobState) -> Vec<WorkloadId> {
+        let mut ids: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.state == state)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The latest monitoring observation for a workload.
+    pub fn observation(&self, id: WorkloadId) -> Option<Observation> {
+        self.entry(id).last_obs
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.cluster.total_cores()
+    }
+
+    /// Committed cores in the cluster.
+    pub fn used_cores(&self) -> u32 {
+        self.cluster.used_cores()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutating manager API.
+    // ------------------------------------------------------------------
+
+    /// Commits a placement for a pending workload. Nodes may carry an
+    /// `active_after` in the future (profiling delay, migration).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload is not pending or capacity is insufficient.
+    pub fn place(
+        &mut self,
+        id: WorkloadId,
+        nodes: Vec<NodeAlloc>,
+        params: FrameworkParams,
+    ) -> Result<(), PlaceError> {
+        if self.entry(id).state != JobState::Pending {
+            return Err(PlaceError::AlreadyPlaced(id));
+        }
+        let nodes_count = nodes.len();
+        let cores: u32 = nodes.iter().map(|n| n.resources.cores).sum();
+        let delay_s = nodes
+            .iter()
+            .map(|n| n.active_after - self.now)
+            .fold(0.0, f64::max)
+            .max(0.0);
+        self.cluster.place(Placement::new(id, nodes, params))?;
+        let now = self.now;
+        self.journal.record(
+            now,
+            JournalEvent::Placed {
+                workload: id,
+                nodes: nodes_count,
+                cores,
+                delay_s,
+            },
+        );
+        let entry = self.entry_mut(id);
+        entry.state = JobState::Running;
+        entry.placed_s.get_or_insert(now);
+        Ok(())
+    }
+
+    /// Evicts a workload, freeing its resources. With `requeue` the
+    /// workload returns to the pending queue keeping its progress (how
+    /// best-effort jobs are treated, §5); otherwise it is killed.
+    pub fn evict(&mut self, id: WorkloadId, requeue: bool) {
+        self.cluster.release(id);
+        self.journal.record(
+            self.now,
+            JournalEvent::Evicted {
+                workload: id,
+                requeued: requeue,
+            },
+        );
+        let entry = self.entry_mut(id);
+        if entry.state == JobState::Running {
+            entry.state = if requeue {
+                JobState::Pending
+            } else {
+                JobState::Killed
+            };
+            entry.last_obs = None;
+        }
+    }
+
+    /// Adds a node to a running workload's placement.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterState::add_node`].
+    pub fn add_node(&mut self, id: WorkloadId, node: NodeAlloc) -> Result<(), PlaceError> {
+        self.cluster.add_node(id, node)?;
+        self.journal.record(
+            self.now,
+            JournalEvent::NodeAdded {
+                workload: id,
+                server: node.server,
+                resources: node.resources,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a workload's slice on a server.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterState::remove_node`].
+    pub fn remove_node(&mut self, id: WorkloadId, server: ServerId) -> Result<(), PlaceError> {
+        self.cluster.remove_node(id, server)?;
+        self.journal
+            .record(self.now, JournalEvent::NodeRemoved { workload: id, server });
+        Ok(())
+    }
+
+    /// Resizes a workload's slice on a server (scale-up/down in place).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterState::resize_node`].
+    pub fn resize_node(
+        &mut self,
+        id: WorkloadId,
+        server: ServerId,
+        resources: NodeResources,
+    ) -> Result<(), PlaceError> {
+        self.cluster.resize_node(id, server, resources)?;
+        self.journal.record(
+            self.now,
+            JournalEvent::NodeResized {
+                workload: id,
+                server,
+                resources,
+            },
+        );
+        Ok(())
+    }
+
+    /// Updates the framework parameters of a placement.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload has no placement.
+    pub fn set_params(&mut self, id: WorkloadId, params: FrameworkParams) -> Result<(), PlaceError> {
+        self.cluster.set_params(id, params)
+    }
+
+    /// Enables or disables hardware partitioning for a placement (§4.4):
+    /// halves interference in both directions at a small capacity
+    /// overhead.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload has no placement.
+    pub fn set_isolation(&mut self, id: WorkloadId, isolated: bool) -> Result<(), PlaceError> {
+        self.cluster.set_isolation(id, isolated)?;
+        self.journal.record(
+            self.now,
+            JournalEvent::IsolationSet {
+                workload: id,
+                isolated,
+            },
+        );
+        Ok(())
+    }
+
+    /// Records the resources a reservation-based manager *reserved* for a
+    /// workload; only used for the used-vs-reserved metrics (Figs. 1, 11d).
+    pub fn report_reservation(&mut self, id: WorkloadId, cores: u32, memory_gb: f64) {
+        self.entry_mut(id).reserved = Some((cores, memory_gb));
+    }
+
+    /// The reservation reported for a workload, if any.
+    pub fn reservation_of(&self, id: WorkloadId) -> Option<(u32, f64)> {
+        self.entry(id).reserved
+    }
+
+    // ------------------------------------------------------------------
+    // Profiling API (the measurement boundary).
+    // ------------------------------------------------------------------
+
+    /// Runs one sandboxed profiling configuration for a workload and
+    /// returns a noisy measurement in goal units plus the wall-clock
+    /// seconds the run consumed (paper §3.2: a few seconds to a few
+    /// minutes, charged to the workload's start-up latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was never submitted or the platform id is
+    /// out of range.
+    pub fn profile_config(&mut self, id: WorkloadId, config: &ProfileConfig) -> ProfileResult {
+        let noise = self.sample_noise();
+        let entry = self.entries.get(&id).expect("unknown workload");
+        let platform = self.cluster.catalog().get(config.platform);
+        let value = ground_truth_value(entry, platform, config) * noise;
+        let seconds = profile_run_seconds(entry.workload.spec().class);
+        let entry = self.entry_mut(id);
+        entry.profiling_s += seconds;
+        ProfileResult { value, seconds }
+    }
+
+    /// Ramps a contention microbenchmark against a sandboxed copy of the
+    /// workload and reports the intensity at which performance drops by
+    /// `qos_loss` — the paper's interference-classification measurement.
+    /// Costs no extra profiling run (it reuses a scale-up copy) but a few
+    /// seconds of wall-clock per resource.
+    pub fn probe_sensitivity(
+        &mut self,
+        id: WorkloadId,
+        resource: SharedResource,
+        qos_loss: f64,
+    ) -> ProfileResult {
+        let noise = self.sample_noise();
+        let entry = self.entries.get(&id).expect("unknown workload");
+        let point = entry.interference().sensitivity_point(resource, qos_loss);
+        let seconds = 2.0;
+        let entry = self.entry_mut(id);
+        entry.profiling_s += seconds;
+        ProfileResult {
+            value: (point * noise).clamp(0.0, PressureVector::MAX),
+            seconds,
+        }
+    }
+
+    /// Measures the contention a workload *causes* in one resource by
+    /// running a sandboxed copy next to a reference victim and measuring
+    /// the victim's slowdown (the reverse direction of the iBench
+    /// methodology; paper §3.2 classifies interference "caused and
+    /// tolerated"). Returns the caused pressure in `[0, 100]`, noisy.
+    pub fn probe_caused(&mut self, id: WorkloadId, resource: SharedResource) -> ProfileResult {
+        let noise = self.sample_noise();
+        let entry = self.entries.get(&id).expect("unknown workload");
+        let caused = entry.interference().caused().get(resource);
+        let seconds = 2.0;
+        let entry = self.entry_mut(id);
+        entry.profiling_s += seconds;
+        ProfileResult {
+            value: (caused * noise).clamp(0.0, PressureVector::MAX),
+            seconds,
+        }
+    }
+
+    /// Injects a short contention probe next to a *running* workload and
+    /// returns the measured performance ratio (probed / unprobed), the
+    /// mechanism behind proactive phase detection (§4.1) and straggler
+    /// checks (§4.3).
+    ///
+    /// Returns `None` if the workload is not running.
+    pub fn probe_in_place(
+        &mut self,
+        id: WorkloadId,
+        resource: SharedResource,
+        intensity: f64,
+    ) -> Option<f64> {
+        let entry = self.entries.get(&id)?;
+        if entry.state != JobState::Running {
+            return None;
+        }
+        let placement = self.cluster.placement(id)?;
+        let node = placement.nodes.first()?;
+        let base_pressure = self.server_pressure(node.server, Some(id));
+        let mut probed = base_pressure;
+        probed.bump(resource, intensity);
+        let profile = entry.interference();
+        let before = profile.penalty(&base_pressure);
+        let after = profile.penalty(&probed);
+        let noise = self.sample_noise();
+        Some((after / before.max(1e-9)) * noise)
+    }
+
+    /// Injects sustained contention on a server for `duration_s` seconds
+    /// (a running iBench microbenchmark). Affects every workload there.
+    pub fn inject_pressure(&mut self, server: ServerId, pressure: PressureVector, duration_s: f64) {
+        self.injections.push(Injection {
+            server,
+            pressure,
+            until_s: self.now + duration_s,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Results API.
+    // ------------------------------------------------------------------
+
+    /// Completion records for all batch workloads.
+    pub fn completions(&self) -> Vec<CompletionRecord> {
+        let mut out: Vec<CompletionRecord> = self
+            .entries
+            .values()
+            .filter(|e| e.workload.spec().class.is_batch())
+            .map(|e| CompletionRecord {
+                id: e.workload.id(),
+                name: e.workload.spec().name.clone(),
+                class: e.workload.spec().class,
+                target: e.workload.spec().target,
+                submitted_s: e.submitted_s,
+                placed_s: e.placed_s,
+                finished_s: e.finished_s,
+                profiling_s: e.profiling_s,
+                best_effort: e.workload.spec().is_best_effort(),
+                peak_cores: e.peak_cores,
+                reserved: e.reserved,
+                total_work: e
+                    .workload
+                    .model()
+                    .as_batch()
+                    .map(|b| b.total_work())
+                    .unwrap_or(0.0),
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// QoS records for all latency-critical services.
+    pub fn qos_records(&self) -> Vec<QosRecord> {
+        let mut out: Vec<QosRecord> = self
+            .entries
+            .values()
+            .filter(|e| e.workload.spec().class.is_latency_critical())
+            .map(|e| QosRecord {
+                id: e.workload.id(),
+                name: e.workload.spec().name.clone(),
+                class: e.workload.spec().class,
+                target: e.workload.spec().target,
+                offered_queries: e.offered_queries,
+                served_queries: e.served_queries,
+                queries_meeting_qos: e.queries_meeting_qos,
+                windows_met: e.windows_met,
+                windows_total: e.windows_total,
+                mean_utilization: if e.windows_total > 0 {
+                    e.util_sum / e.windows_total as f64
+                } else {
+                    0.0
+                },
+                peak_cores: e.peak_cores,
+                reserved: e.reserved,
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// The utilization metrics recorded over the run.
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.metrics
+    }
+
+    /// The decision journal: every placement, eviction, resize,
+    /// scale-out, isolation flip, and completion, timestamped.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation internals (crate-private).
+    // ------------------------------------------------------------------
+
+    fn entry(&self, id: WorkloadId) -> &Entry {
+        self.entries.get(&id).expect("unknown workload")
+    }
+
+    fn entry_mut(&mut self, id: WorkloadId) -> &mut Entry {
+        self.entries.get_mut(&id).expect("unknown workload")
+    }
+
+    fn sample_noise(&mut self) -> f64 {
+        if self.noise <= 0.0 {
+            1.0
+        } else {
+            self.rng.random_range(1.0 - self.noise..=1.0 + self.noise)
+        }
+    }
+
+    pub(crate) fn submit(&mut self, workload: Workload) {
+        let id = workload.id();
+        assert!(
+            !self.entries.contains_key(&id),
+            "workload ids must be unique"
+        );
+        self.entries.insert(id, Entry::new(workload, self.now));
+    }
+
+    pub(crate) fn apply_phase_rate(&mut self, id: WorkloadId, factor: f64) {
+        self.entry_mut(id).rate_factor = factor;
+    }
+
+    pub(crate) fn apply_phase_interference(&mut self, id: WorkloadId, profile: InterferenceProfile) {
+        self.entry_mut(id).phase_interference = Some(profile);
+    }
+
+    /// Ground-truth pressure seen on a server, optionally excluding one
+    /// workload's own contribution.
+    pub(crate) fn server_pressure(
+        &self,
+        server: ServerId,
+        exclude: Option<WorkloadId>,
+    ) -> PressureVector {
+        let total_cores = self.cluster.server(server).total_cores() as f64;
+        let mut pressure = PressureVector::zero();
+        for id in self.cluster.workloads_on(server) {
+            if Some(id) == exclude {
+                continue;
+            }
+            let entry = match self.entries.get(&id) {
+                Some(e) => e,
+                None => continue,
+            };
+            let placement = self.cluster.placement(id).expect("placed workload");
+            let node = placement.node_on(server).expect("slice exists");
+            if !node.is_active(self.now) {
+                continue;
+            }
+            let share = (node.resources.cores as f64 / total_cores).min(1.0);
+            let outgoing = if placement.isolated {
+                ISOLATION_PRESSURE_FACTOR
+            } else {
+                1.0
+            };
+            pressure += entry.interference().caused().scaled(share * outgoing);
+        }
+        for inj in &self.injections {
+            if inj.server == server && inj.until_s > self.now {
+                pressure += inj.pressure;
+            }
+        }
+        pressure
+    }
+
+    /// The active allocation of a workload as physics inputs (platforms
+    /// cloned so the result does not borrow the world). A partitioned
+    /// placement sees only a fraction of the ambient pressure.
+    fn physics_allocs(&self, id: WorkloadId) -> Vec<(Platform, NodeResources, PressureVector)> {
+        let placement = match self.cluster.placement(id) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        let incoming = if placement.isolated {
+            ISOLATION_PRESSURE_FACTOR
+        } else {
+            1.0
+        };
+        placement
+            .active_nodes(self.now)
+            .map(|node| {
+                (
+                    self.cluster.platform_of(node.server).clone(),
+                    node.resources,
+                    self.server_pressure(node.server, Some(id)).scaled(incoming),
+                )
+            })
+            .collect()
+    }
+
+    /// Capacity multiplier from partitioning overhead.
+    fn isolation_factor(&self, id: WorkloadId) -> f64 {
+        if self.cluster.placement(id).map(|p| p.isolated).unwrap_or(false) {
+            ISOLATION_OVERHEAD_FACTOR
+        } else {
+            1.0
+        }
+    }
+
+    /// Advances physics by one tick: batch progress, service windows, QoS
+    /// accounting. Returns the ids of batch jobs that completed.
+    pub(crate) fn advance(&mut self, dt: f64) -> Vec<WorkloadId> {
+        self.now += dt;
+        self.injections.retain(|inj| inj.until_s > self.now);
+
+        let running: Vec<WorkloadId> = self.ids_in_state(JobState::Running);
+        let mut completed = Vec::new();
+
+        for id in running {
+            let owned_allocs = self.physics_allocs(id);
+            let iso = self.isolation_factor(id);
+            let allocs: Vec<(&Platform, NodeResources, PressureVector)> = owned_allocs
+                .iter()
+                .map(|(p, r, pr)| (p, *r, *pr))
+                .collect();
+            let held_cores: u32 = self
+                .cluster
+                .placement(id)
+                .map(|p| p.total_cores())
+                .unwrap_or(0);
+            let noise = self.sample_noise();
+            let entry = self.entries.get_mut(&id).expect("running workload");
+            entry.peak_cores = entry.peak_cores.max(held_cores);
+            match entry.workload.model() {
+                PerfModel::Batch(model) => {
+                    let params = self
+                        .cluster
+                        .placement(id)
+                        .map(|p| p.params)
+                        .unwrap_or_default();
+                    let rate = model.cluster_rate(&allocs, &params) * entry.rate_factor * iso;
+                    let done_before = entry.remaining_work <= 0.0;
+                    entry.remaining_work -= rate * dt;
+                    let total = model.total_work();
+                    let progress = (1.0 - entry.remaining_work / total).clamp(0.0, 1.0);
+                    let elapsed = entry.placed_s.map(|p| self.now - p).unwrap_or(0.0);
+                    let projected = if rate > 0.0 {
+                        // Elapsed so far plus remaining at current rate.
+                        elapsed + entry.remaining_work.max(0.0) / rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    entry.last_obs = Some(Observation::Batch {
+                        rate: rate * noise,
+                        progress,
+                        projected_total_s: projected * noise,
+                        elapsed_s: elapsed,
+                    });
+                    if entry.remaining_work <= 0.0 && !done_before {
+                        // Interpolate the exact completion instant.
+                        let overshoot = if rate > 0.0 {
+                            (-entry.remaining_work / rate).min(dt)
+                        } else {
+                            0.0
+                        };
+                        entry.finished_s = Some(self.now - overshoot);
+                        entry.state = JobState::Completed;
+                        completed.push(id);
+                    }
+                }
+                PerfModel::Service(model) => {
+                    let offered = entry.workload.offered_qps(self.now);
+                    let mut obs = model.observe(offered, &allocs);
+                    if iso < 1.0 {
+                        // Partitioning reserves capacity: effective
+                        // utilization rises and the achievable throughput
+                        // drops by the overhead.
+                        obs.utilization = (obs.utilization / iso).min(1.0);
+                        obs.achieved_qps = obs.achieved_qps.min(offered.min(
+                            model.total_capacity(&allocs) * iso,
+                        ));
+                        obs.mean_latency_us /= iso;
+                        obs.p99_latency_us /= iso;
+                    }
+                    obs.achieved_qps *= noise;
+                    obs.p99_latency_us *= noise;
+                    obs.mean_latency_us *= noise;
+                    let target = entry.workload.spec().target;
+                    entry.offered_queries += offered * dt;
+                    entry.served_queries += obs.achieved_qps.min(offered) * dt;
+                    if let QosTarget::Throughput { p99_latency_us, .. } = target {
+                        if obs.p99_latency_us <= p99_latency_us {
+                            entry.queries_meeting_qos += obs.achieved_qps.min(offered) * dt;
+                        }
+                    }
+                    entry.windows_total += 1;
+                    entry.util_sum += obs.utilization;
+                    if obs.meets(&target) {
+                        entry.windows_met += 1;
+                    }
+                    entry.last_obs = Some(Observation::Service(obs));
+                }
+            }
+        }
+
+        for id in completed.iter() {
+            self.cluster.release(*id);
+            self.journal
+                .record(self.now, JournalEvent::Completed { workload: *id });
+        }
+
+        if self.metrics.due(self.now) {
+            let sample = self.sample_utilization();
+            self.metrics.record(sample);
+        }
+
+        completed
+    }
+
+    /// Builds a utilization snapshot: *used* (not just committed) CPU per
+    /// server, memory, disk pressure, plus aggregate allocated/reserved.
+    fn sample_utilization(&self) -> HeatmapSample {
+        let n = self.cluster.servers().len();
+        let mut cpu = vec![0.0; n];
+        let mut memory = vec![0.0; n];
+        let mut disk = vec![0.0; n];
+
+        for placement in self.cluster.placements() {
+            let entry = match self.entries.get(&placement.workload) {
+                Some(e) => e,
+                None => continue,
+            };
+            // Services "use" cores in proportion to their utilization;
+            // batch jobs use everything they hold.
+            let activity = match &entry.last_obs {
+                Some(Observation::Service(o)) => o.utilization.clamp(0.0, 1.0),
+                _ => 1.0,
+            };
+            for node in placement.active_nodes(self.now) {
+                let server = self.cluster.server(node.server);
+                let total_cores = server.total_cores() as f64;
+                cpu[node.server.0] += node.resources.cores as f64 * activity / total_cores;
+                memory[node.server.0] += node.resources.memory_gb / server.total_memory_gb();
+                let share = node.resources.cores as f64 / total_cores;
+                disk[node.server.0] += entry.interference().caused().get(SharedResource::DiskIo)
+                    / PressureVector::MAX
+                    * share
+                    * activity;
+            }
+        }
+        for v in cpu.iter_mut().chain(memory.iter_mut()).chain(disk.iter_mut()) {
+            *v = v.clamp(0.0, 1.0);
+        }
+
+        let total_cores = self.cluster.total_cores() as f64;
+        let total_mem: f64 = self
+            .cluster
+            .servers()
+            .iter()
+            .map(|s| s.total_memory_gb())
+            .sum();
+        let allocated_cpu = self.cluster.used_cores() as f64 / total_cores;
+        let allocated_memory = self
+            .cluster
+            .servers()
+            .iter()
+            .map(|s| s.used_memory_gb())
+            .sum::<f64>()
+            / total_mem;
+        let (mut reserved_cores, mut reserved_mem) = (0.0, 0.0);
+        for entry in self.entries.values() {
+            if entry.state == JobState::Running || entry.state == JobState::Pending {
+                if let Some((c, m)) = entry.reserved {
+                    reserved_cores += c as f64;
+                    reserved_mem += m;
+                }
+            }
+        }
+
+        HeatmapSample {
+            time_s: self.now,
+            cpu,
+            memory,
+            disk,
+            allocated_cpu,
+            reserved_cpu: (reserved_cores / total_cores).min(1.5),
+            reserved_memory: (reserved_mem / total_mem).min(1.5),
+            allocated_memory,
+        }
+    }
+}
+
+/// Ground-truth performance value in goal units for a profiling config.
+fn ground_truth_value(entry: &Entry, platform: &Platform, config: &ProfileConfig) -> f64 {
+    let allocs: Vec<(&Platform, NodeResources, PressureVector)> = (0..config.nodes)
+        .map(|_| (platform, config.resources, config.injected_pressure))
+        .collect();
+    match entry.workload.model() {
+        PerfModel::Batch(model) => {
+            let rate = model.cluster_rate(&allocs, &config.params) * entry.rate_factor;
+            match entry.workload.spec().target {
+                QosTarget::Ips { .. } => rate,
+                _ => {
+                    if rate > 0.0 {
+                        model.total_work() / rate
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            }
+        }
+        PerfModel::Service(model) => {
+            let bound = match entry.workload.spec().target {
+                QosTarget::Throughput { p99_latency_us, .. } => p99_latency_us,
+                _ => 1_000.0,
+            };
+            model.knee_qps(&allocs, bound) * entry.rate_factor
+        }
+    }
+}
+
+/// Wall-clock cost of one profiling run by class (paper §3.2/§3.4).
+fn profile_run_seconds(class: WorkloadClass) -> f64 {
+    match class {
+        WorkloadClass::Memcached | WorkloadClass::Webserver => 8.0,
+        WorkloadClass::Cassandra => 10.0,
+        WorkloadClass::Hadoop | WorkloadClass::Spark | WorkloadClass::Storm => 30.0,
+        WorkloadClass::SingleNode => 10.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use quasar_workloads::generate::Generator;
+    use quasar_workloads::{LoadPattern, PlatformCatalog, Priority};
+
+    fn world() -> World {
+        let spec = ClusterSpec::uniform(PlatformCatalog::local(), 2);
+        World::new(ClusterState::new(spec), 5.0, 0.0, 60.0, 1)
+    }
+
+    fn batch_workload(seed: u64) -> Workload {
+        let mut generator = Generator::new(PlatformCatalog::local(), seed);
+        generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "test",
+            quasar_workloads::Dataset::new("d", 10.0, 1.0),
+            2,
+            600.0,
+            Priority::Guaranteed,
+        )
+    }
+
+    fn big_server(world: &World) -> ServerId {
+        world
+            .servers()
+            .iter()
+            .max_by(|a, b| a.total_cores().cmp(&b.total_cores()))
+            .unwrap()
+            .id()
+    }
+
+    #[test]
+    fn submit_place_run_complete() {
+        let mut w = world();
+        let job = batch_workload(1);
+        let id = job.id();
+        w.submit(job);
+        assert_eq!(w.state(id), JobState::Pending);
+
+        let sid = big_server(&w);
+        let platform = w.platform_of(sid);
+        let res = NodeResources::all_of(platform);
+        w.place(
+            id,
+            vec![NodeAlloc::immediate(sid, res)],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+        assert_eq!(w.state(id), JobState::Running);
+
+        // Run physics until completion (calibrated ~600s on 2 nodes, so
+        // one node takes longer; bound generously).
+        let mut completed = Vec::new();
+        for _ in 0..4000 {
+            completed = w.advance(5.0);
+            if !completed.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(completed, vec![id]);
+        assert_eq!(w.state(id), JobState::Completed);
+        let record = &w.completions()[0];
+        assert!(record.finished_s.is_some());
+        // Resources are freed.
+        assert_eq!(w.used_cores(), 0);
+    }
+
+    #[test]
+    fn profiling_charges_time_and_returns_goal_units() {
+        let mut w = world();
+        let job = batch_workload(2);
+        let id = job.id();
+        w.submit(job);
+        let sid = big_server(&w);
+        let platform = w.platform_of(sid);
+        let config = ProfileConfig::single(platform.id, NodeResources::all_of(platform));
+        let r = w.profile_config(id, &config);
+        assert!(r.value.is_finite() && r.value > 0.0, "completion estimate");
+        assert!(r.seconds > 0.0);
+        let record = &w.completions()[0];
+        assert_eq!(record.profiling_s, r.seconds);
+    }
+
+    #[test]
+    fn service_accumulates_qos_accounting() {
+        let mut w = world();
+        let mut generator = Generator::new(PlatformCatalog::local(), 3);
+        let svc = generator.service(
+            WorkloadClass::Memcached,
+            "mc",
+            8.0,
+            LoadPattern::Flat { qps: 10_000.0 },
+            Priority::Guaranteed,
+        );
+        let id = svc.id();
+        w.submit(svc);
+        let sid = big_server(&w);
+        let platform = w.platform_of(sid);
+        w.place(
+            id,
+            vec![NodeAlloc::immediate(sid, NodeResources::all_of(platform))],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+        for _ in 0..10 {
+            w.advance(5.0);
+        }
+        let rec = &w.qos_records()[0];
+        assert!((rec.offered_queries - 10_000.0 * 50.0).abs() < 1.0);
+        assert!(rec.windows_total == 10);
+        assert!(rec.served_fraction() > 0.9);
+    }
+
+    #[test]
+    fn eviction_requeues_with_progress() {
+        let mut w = world();
+        let job = batch_workload(4);
+        let id = job.id();
+        w.submit(job);
+        let sid = big_server(&w);
+        let platform = w.platform_of(sid);
+        w.place(
+            id,
+            vec![NodeAlloc::immediate(sid, NodeResources::all_of(platform))],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+        w.advance(5.0);
+        w.evict(id, true);
+        assert_eq!(w.state(id), JobState::Pending);
+        assert_eq!(w.used_cores(), 0);
+    }
+
+    #[test]
+    fn colocation_creates_pressure() {
+        let mut w = world();
+        let a = batch_workload(5);
+        let b = batch_workload(6);
+        let (ida, idb) = (a.id(), b.id());
+        // ids must be unique across generators.
+        assert_eq!(ida, idb);
+        let b = {
+            let mut generator = Generator::new(PlatformCatalog::local(), 60);
+            // Advance the generator so ids differ.
+            let _ = generator.analytics_job(
+                WorkloadClass::Hadoop,
+                "x",
+                quasar_workloads::Dataset::new("d", 5.0, 1.0),
+                1,
+                60.0,
+                Priority::Guaranteed,
+            );
+            generator.analytics_job(
+                WorkloadClass::Hadoop,
+                "y",
+                quasar_workloads::Dataset::new("d", 5.0, 1.0),
+                1,
+                60.0,
+                Priority::Guaranteed,
+            )
+        };
+        let idb = b.id();
+        w.submit(a);
+        w.submit(b);
+        let sid = big_server(&w);
+        let half = NodeResources::new(8, 12.0);
+        w.place(ida, vec![NodeAlloc::immediate(sid, half)], FrameworkParams::default())
+            .unwrap();
+        assert!(w.server_pressure(sid, Some(ida)).is_zero());
+        w.place(idb, vec![NodeAlloc::immediate(sid, half)], FrameworkParams::default())
+            .unwrap();
+        let p = w.server_pressure(sid, Some(ida));
+        assert!(p.total() > 0.0, "co-located workload must exert pressure");
+    }
+
+    #[test]
+    fn injected_pressure_expires() {
+        let mut w = world();
+        let sid = big_server(&w);
+        w.inject_pressure(sid, PressureVector::uniform(50.0), 7.0);
+        assert!(w.server_pressure(sid, None).total() > 0.0);
+        w.advance(5.0);
+        assert!(w.server_pressure(sid, None).total() > 0.0);
+        w.advance(5.0);
+        assert!(w.server_pressure(sid, None).is_zero());
+    }
+
+    #[test]
+    fn sensitivity_probe_matches_profile() {
+        let mut w = world();
+        let job = batch_workload(7);
+        let id = job.id();
+        let expected = job
+            .model()
+            .interference()
+            .sensitivity_point(SharedResource::LlcCapacity, 0.05);
+        w.submit(job);
+        let r = w.probe_sensitivity(id, SharedResource::LlcCapacity, 0.05);
+        assert!((r.value - expected).abs() < 1e-9, "no noise configured");
+    }
+}

@@ -1,0 +1,325 @@
+//! The four parallel classifications (and the exhaustive alternative).
+//!
+//! Each classification appends the workload's sparse profiling row to the
+//! dense offline history of its goal kind and reconstructs the missing
+//! entries with SVD + PQ/SGD (paper §3.2). Speed axes are reconstructed in
+//! log space; interference axes in linear pressure space.
+
+use quasar_cf::{DenseMatrix, Reconstructor};
+use quasar_interference::PressureVector;
+
+use crate::axes::{Axes, GoalKind};
+use crate::history::{ln_speed, HistorySet, KindHistory};
+use crate::profile::ProfilingData;
+
+/// The dense output of classification: estimated performance across every
+/// axis column, in linear *speed* units (higher is better), plus estimated
+/// interference vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Goal kind the estimates are expressed in.
+    pub kind: GoalKind,
+    /// Estimated speed per scale-up column.
+    pub scale_up_speed: Vec<f64>,
+    /// Estimated speed per scale-out column (None for single-node).
+    pub scale_out_speed: Option<Vec<f64>>,
+    /// Estimated speed per platform column.
+    pub hetero_speed: Vec<f64>,
+    /// Estimated speed per framework-parameter column (None when the
+    /// workload has no framework knobs).
+    pub params_speed: Option<Vec<f64>>,
+    /// Estimated tolerated pressure per interference source.
+    pub tolerated: PressureVector,
+    /// Estimated caused pressure per interference source.
+    pub caused: PressureVector,
+    /// Runtime feedback multiplier on predicted speed (paper §3.2: "a
+    /// simple feedback loop that updates the matrix entries when the
+    /// performance measured at runtime deviates from the one estimated
+    /// through classification"; it also covers scaling past the node
+    /// counts profiling can reach). Starts at 1.0; the manager adjusts it
+    /// from live measurements.
+    pub runtime_calibration: f64,
+}
+
+impl Classification {
+    /// Estimated goal value (completion time / QPS / IPS) at a scale-up
+    /// column on the reference platform.
+    pub fn goal_at_scale_up(&self, col: usize) -> f64 {
+        self.kind.from_speed(self.scale_up_speed[col])
+    }
+}
+
+/// Runs the four parallel classifications.
+#[derive(Debug, Clone, Default)]
+pub struct Classifier {
+    reconstructor: Reconstructor,
+}
+
+impl Classifier {
+    /// A classifier with default SGD hyper-parameters.
+    pub fn new() -> Classifier {
+        Classifier::default()
+    }
+
+    /// Classifies one workload from its profiling signal against the
+    /// offline history.
+    pub fn classify(&self, history: &HistorySet, data: &ProfilingData) -> Classification {
+        self.classify_timed(history, data).0
+    }
+
+    /// [`Classifier::classify`] plus the wall-clock decision time of the
+    /// *parallel* scheme: the four classifications run concurrently
+    /// (paper §3.2), so the decision latency is the maximum over the
+    /// per-axis reconstruction times, returned in microseconds.
+    pub fn classify_timed(&self, history: &HistorySet, data: &ProfilingData) -> (Classification, f64) {
+        let kind = data.kind;
+        let k: &KindHistory = history.kind(kind);
+        let mut axis_us: Vec<f64> = Vec::with_capacity(6);
+        let mut timed = |f: &mut dyn FnMut()| {
+            let t0 = std::time::Instant::now();
+            f();
+            axis_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        };
+
+        let mut scale_up_speed = Vec::new();
+        timed(&mut || scale_up_speed = self.speed_axis(kind, &k.scale_up, &data.scale_up));
+        let mut hetero_speed = Vec::new();
+        timed(&mut || hetero_speed = self.speed_axis(kind, &k.hetero, &data.hetero));
+        let mut scale_out_speed = None;
+        timed(&mut || {
+            scale_out_speed = k
+                .scale_out
+                .as_ref()
+                .filter(|_| !data.scale_out.is_empty())
+                .map(|m| self.speed_axis(kind, m, &data.scale_out))
+        });
+        let mut params_speed = None;
+        timed(&mut || {
+            params_speed = k
+                .params
+                .as_ref()
+                .filter(|_| !data.params.is_empty())
+                .map(|m| self.speed_axis(kind, m, &data.params))
+        });
+        let mut tolerated = PressureVector::zero();
+        let mut caused = PressureVector::zero();
+        timed(&mut || {
+            tolerated = self.pressure_axis(&k.tolerated, &data.tolerated);
+            caused = self.pressure_axis(&k.caused, &data.caused);
+        });
+
+        let wall_us = axis_us.iter().copied().fold(0.0, f64::max);
+        (
+            Classification {
+                kind,
+                scale_up_speed,
+                scale_out_speed,
+                hetero_speed,
+                params_speed,
+                tolerated,
+                caused,
+                runtime_calibration: 1.0,
+            },
+            wall_us,
+        )
+    }
+
+    /// Reconstructs one speed axis: goal-value observations → ln-speed
+    /// row → CF against history → linear speeds.
+    fn speed_axis(
+        &self,
+        kind: GoalKind,
+        history: &DenseMatrix,
+        observed: &[(usize, f64)],
+    ) -> Vec<f64> {
+        let target: Vec<(usize, f64)> = observed
+            .iter()
+            .map(|&(c, v)| (c, ln_speed(kind, v)))
+            .collect();
+        let row = self
+            .reconstructor
+            .reconstruct_row(history, &target)
+            .expect("history is dense and target non-empty");
+        row.into_iter().map(f64::exp).collect()
+    }
+
+    /// Reconstructs one interference axis. Pressure values live on a
+    /// 0–100 scale; they are normalized into [0, 1] for the SGD pass
+    /// (whose learning rate is tuned for unit-scale data) and scaled back.
+    fn pressure_axis(&self, history: &DenseMatrix, observed: &[(usize, f64)]) -> PressureVector {
+        if observed.is_empty() {
+            return PressureVector::uniform(PressureVector::MAX / 2.0);
+        }
+        let scaled_history = DenseMatrix::from_fn(history.rows(), history.cols(), |r, c| {
+            history.get(r, c) / PressureVector::MAX
+        });
+        let scaled_observed: Vec<(usize, f64)> = observed
+            .iter()
+            .map(|&(c, v)| (c, v / PressureVector::MAX))
+            .collect();
+        let row = self
+            .reconstructor
+            .reconstruct_row(&scaled_history, &scaled_observed)
+            .expect("history is dense and target non-empty");
+        let mut v = PressureVector::zero();
+        for (i, value) in row.into_iter().enumerate() {
+            v.set(
+                quasar_interference::SharedResource::from_index(i),
+                value * PressureVector::MAX,
+            );
+        }
+        v
+    }
+}
+
+/// The single exhaustive classification the paper compares against
+/// (§3.2, "multiple parallel versus single exhaustive classification"):
+/// one matrix whose columns are joint (platform × scale-up × scale-out)
+/// vectors. More robust to cross-term pathologies, but the column count
+/// explodes and decision time rises by orders of magnitude (Fig. 3e).
+#[derive(Debug, Clone)]
+pub struct ExhaustiveClassifier {
+    reconstructor: Reconstructor,
+    /// The joint columns: (platform index, scale-up column, scale-out column).
+    columns: Vec<(usize, usize, usize)>,
+}
+
+impl ExhaustiveClassifier {
+    /// Builds the joint column space from the axes, subsampled to keep the
+    /// matrix tractable: every platform × a spread of scale-up configs ×
+    /// small node counts.
+    pub fn new(axes: &Axes) -> ExhaustiveClassifier {
+        // The whole scale-up grid joins the cross product: this is what
+        // makes the exhaustive scheme's matrices explode (Fig. 3e).
+        let su_cols: Vec<usize> = (0..axes.scale_up.len()).collect();
+        let so_cols: Vec<usize> = axes
+            .scale_out
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n <= 4)
+            .map(|(i, _)| i)
+            .collect();
+        let mut columns = Vec::new();
+        for p in 0..axes.platforms.len() {
+            for &su in &su_cols {
+                for &so in &so_cols {
+                    columns.push((p, su, so));
+                }
+            }
+        }
+        ExhaustiveClassifier {
+            reconstructor: Reconstructor::new(),
+            columns,
+        }
+    }
+
+    /// The joint columns.
+    pub fn columns(&self) -> &[(usize, usize, usize)] {
+        &self.columns
+    }
+
+    /// Reconstructs the full joint row from sparse joint observations
+    /// (`(column index, ln-speed)`), given a dense joint history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` is empty.
+    pub fn classify_row(&self, history: &DenseMatrix, observed: &[(usize, f64)]) -> Vec<f64> {
+        assert!(!observed.is_empty(), "need at least one observation");
+        self.reconstructor
+            .reconstruct_row(history, observed)
+            .expect("dense history, non-empty target")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_cluster::{managers::NullManager, ClusterSpec, SimConfig, Simulation};
+    use quasar_workloads::generate::Generator;
+    use quasar_workloads::{Dataset, PlatformCatalog, Priority, WorkloadClass};
+
+    use crate::profile::Profiler;
+
+    /// End-to-end: profile a fresh workload sparsely and check the
+    /// classification predicts the (noiseless) ground truth measured
+    /// through full profiling.
+    #[test]
+    fn classification_predicts_unseen_columns() {
+        let catalog = PlatformCatalog::local();
+        let history = HistorySet::bootstrap(&catalog, 12, 77);
+        let axes = history.axes().clone();
+
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 1),
+            Box::new(NullManager),
+            SimConfig {
+                noise: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        let mut generator = Generator::new(catalog.clone(), 123);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "probe",
+            Dataset::new("d", 25.0, 1.1),
+            2,
+            900.0,
+            Priority::Guaranteed,
+        );
+        let id = job.id();
+        sim.submit_at(job, 0.0);
+        sim.run_until(5.0);
+
+        let mut profiler = Profiler::new(2, 9);
+        let data = profiler.profile(sim.world_mut(), &axes, id);
+        let class = Classifier::new().classify(&history, &data);
+
+        // Compare estimated vs measured across the heterogeneity axis.
+        let mut errors = Vec::new();
+        for (col, &pid) in axes.platforms.iter().enumerate() {
+            let config = quasar_cluster::ProfileConfig::single(pid, axes.anchor());
+            let actual = sim.world_mut().profile_config(id, &config).value;
+            let actual_speed = GoalKind::Time.to_speed(actual);
+            let rel = (class.hetero_speed[col] - actual_speed).abs() / actual_speed;
+            errors.push(rel);
+        }
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(
+            mean_err < 0.30,
+            "mean heterogeneity error {mean_err:.2} too high; errors {errors:?}"
+        );
+    }
+
+    #[test]
+    fn empty_interference_observations_fall_back() {
+        let catalog = PlatformCatalog::local();
+        let history = HistorySet::bootstrap(&catalog, 3, 5);
+        let data = ProfilingData {
+            kind: GoalKind::Rate,
+            scale_up: vec![(0, 100.0)],
+            scale_out: vec![],
+            hetero: vec![(0, 90.0)],
+            params: vec![],
+            tolerated: vec![],
+            caused: vec![],
+            wall_seconds: 1.0,
+            total_seconds: 1.0,
+        };
+        let class = Classifier::new().classify(&history, &data);
+        assert!(class.tolerated.get(quasar_interference::SharedResource::Cpu) > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_columns_cover_all_platforms() {
+        let axes = Axes::for_catalog(&PlatformCatalog::local());
+        let ex = ExhaustiveClassifier::new(&axes);
+        let platforms: std::collections::BTreeSet<usize> =
+            ex.columns().iter().map(|&(p, _, _)| p).collect();
+        assert_eq!(platforms.len(), axes.platforms.len());
+        assert!(
+            ex.columns().len() > axes.scale_up.len(),
+            "joint space is bigger than any single axis"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Composing classification outputs into performance predictions.
+//!
+//! The four classifications are independent (paper §3.2); the estimator
+//! recombines them multiplicatively around a shared anchor point: speed at
+//! the anchor configuration on the reference platform with one node and no
+//! interference. Heterogeneity, scale-up, scale-out, framework parameters,
+//! and interference each contribute a ratio against their anchor column.
+
+use quasar_interference::{penalty_for, PressureVector};
+
+use crate::axes::Axes;
+use crate::classify::Classification;
+
+/// One planned node for prediction purposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedNode {
+    /// Index into [`Axes::platforms`].
+    pub platform_index: usize,
+    /// Index into [`Axes::scale_up`].
+    pub scale_up_col: usize,
+    /// Estimated external pressure on the hosting server.
+    pub pressure: PressureVector,
+}
+
+/// Predicts workload performance for candidate allocations from a
+/// [`Classification`].
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    axes: &'a Axes,
+    class: &'a Classification,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator over a classification.
+    pub fn new(axes: &'a Axes, class: &'a Classification) -> Estimator<'a> {
+        Estimator { axes, class }
+    }
+
+    /// Anchor speed: the classified speed at the anchor scale-up column
+    /// (reference platform, one node, quiet).
+    fn anchor_speed(&self) -> f64 {
+        self.class.scale_up_speed[self.axes.anchor_config].max(1e-12)
+    }
+
+    /// Estimated interference penalty under external pressure, using the
+    /// classified tolerated-pressure vector and the standard decay law.
+    pub fn penalty(&self, pressure: &PressureVector) -> f64 {
+        penalty_for(&self.class.tolerated, pressure)
+    }
+
+    /// Speed multiplier of a platform relative to the reference platform.
+    pub fn hetero_factor(&self, platform_index: usize) -> f64 {
+        let reference = self.class.hetero_speed[self.axes.ref_platform_index()].max(1e-12);
+        self.class.hetero_speed[platform_index].max(0.0) / reference
+    }
+
+    /// Speed multiplier of a scale-up column relative to the anchor.
+    pub fn scale_up_factor(&self, col: usize) -> f64 {
+        self.class.scale_up_speed[col].max(0.0) / self.anchor_speed()
+    }
+
+    /// Per-node efficiency of running on `n` nodes relative to `n`
+    /// independent single nodes: `speed(n) / (n × speed(1))` from the
+    /// scale-out classification, interpolating between axis columns and
+    /// extrapolating with the last measured efficiency beyond them.
+    pub fn scale_out_efficiency(&self, nodes: usize) -> f64 {
+        let Some(so) = &self.class.scale_out_speed else {
+            return if nodes <= 1 { 1.0 } else { 0.0 };
+        };
+        let one = self
+            .axes
+            .scale_out
+            .iter()
+            .position(|&n| n == 1)
+            .expect("axis includes 1");
+        let base = so[one].max(1e-12);
+        let speed_at = |nodes: usize| -> f64 {
+            // Piecewise-linear in node count across the axis columns.
+            let axis = &self.axes.scale_out;
+            if let Some(i) = axis.iter().position(|&n| n == nodes) {
+                return so[i].max(0.0);
+            }
+            let mut prev = 0;
+            for (i, &n) in axis.iter().enumerate() {
+                if n > nodes {
+                    if i == 0 {
+                        return so[0].max(0.0);
+                    }
+                    let (n0, n1) = (axis[i - 1] as f64, n as f64);
+                    let (s0, s1) = (so[i - 1], so[i]);
+                    let t = (nodes as f64 - n0) / (n1 - n0);
+                    return (s0 + t * (s1 - s0)).max(0.0);
+                }
+                prev = i;
+            }
+            // Beyond the largest column: extrapolate with constant
+            // per-node efficiency (the paper's feedback loop covers this
+            // regime at runtime).
+            let last_n = axis[prev] as f64;
+            (so[prev] / last_n * nodes as f64).max(0.0)
+        };
+        (speed_at(nodes) / (nodes as f64 * base)).min(2.0)
+    }
+
+    /// Speed multiplier of a framework-parameter column relative to the
+    /// stock configuration; 1.0 when the workload has no framework knobs.
+    pub fn params_factor(&self, col: usize) -> f64 {
+        match &self.class.params_speed {
+            Some(p) => {
+                let default = p[self.axes.default_params].max(1e-12);
+                p[col].max(0.0) / default
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Predicted aggregate *speed* of an allocation (goal-kind agnostic:
+    /// higher is better).
+    pub fn total_speed(&self, nodes: &[PlannedNode], params_col: Option<usize>) -> f64 {
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let anchor = self.anchor_speed();
+        let per_node: f64 = nodes
+            .iter()
+            .map(|n| {
+                anchor
+                    * self.hetero_factor(n.platform_index)
+                    * self.scale_up_factor(n.scale_up_col)
+                    * self.penalty(&n.pressure)
+            })
+            .sum();
+        let efficiency = self.scale_out_efficiency(nodes.len());
+        let params = params_col.map_or(1.0, |c| self.params_factor(c));
+        per_node * efficiency * params * self.class.runtime_calibration
+    }
+
+    /// Predicted goal value (completion seconds / QPS / IPS) of an
+    /// allocation.
+    pub fn predicted_goal(&self, nodes: &[PlannedNode], params_col: Option<usize>) -> f64 {
+        self.class
+            .kind
+            .from_speed(self.total_speed(nodes, params_col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::GoalKind;
+    use quasar_workloads::PlatformCatalog;
+
+    fn axes() -> Axes {
+        Axes::for_catalog(&PlatformCatalog::local())
+    }
+
+    /// A synthetic classification with known structure: speed doubles on
+    /// the reference platform vs others, scales linearly with the
+    /// scale-up column index + 1, and scale-out is perfectly linear.
+    fn synthetic(axes: &Axes, kind: GoalKind) -> Classification {
+        Classification {
+            kind,
+            scale_up_speed: (0..axes.scale_up.len()).map(|i| (i + 1) as f64).collect(),
+            scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64 * 10.0).collect()),
+            hetero_speed: (0..axes.platforms.len())
+                .map(|i| if i == axes.ref_platform_index() { 2.0 } else { 1.0 })
+                .collect(),
+            params_speed: None,
+            tolerated: PressureVector::uniform(50.0),
+            caused: PressureVector::uniform(10.0),
+            runtime_calibration: 1.0,
+        }
+    }
+
+    #[test]
+    fn hetero_factor_is_relative_to_reference() {
+        let axes = axes();
+        let class = synthetic(&axes, GoalKind::Qps);
+        let est = Estimator::new(&axes, &class);
+        assert_eq!(est.hetero_factor(axes.ref_platform_index()), 1.0);
+        let other = (axes.ref_platform_index() + 1) % axes.platforms.len();
+        assert_eq!(est.hetero_factor(other), 0.5);
+    }
+
+    #[test]
+    fn scale_out_efficiency_of_linear_axis_is_one() {
+        let axes = axes();
+        let class = synthetic(&axes, GoalKind::Qps);
+        let est = Estimator::new(&axes, &class);
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            assert!(
+                (est.scale_out_efficiency(n) - 1.0).abs() < 1e-9,
+                "linear scale-out axis must give unit efficiency at {n}"
+            );
+        }
+        // Interpolated and extrapolated points too.
+        assert!((est.scale_out_efficiency(5) - 1.0).abs() < 0.05);
+        assert!((est.scale_out_efficiency(64) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn total_speed_composes_factors() {
+        let axes = axes();
+        let class = synthetic(&axes, GoalKind::Qps);
+        let est = Estimator::new(&axes, &class);
+        let anchor = class.scale_up_speed[axes.anchor_config];
+        let node = PlannedNode {
+            platform_index: axes.ref_platform_index(),
+            scale_up_col: axes.anchor_config,
+            pressure: PressureVector::zero(),
+        };
+        let single = est.total_speed(&[node], None);
+        assert!((single - anchor).abs() < 1e-9, "anchor must predict itself");
+        let double = est.total_speed(&[node, node], None);
+        assert!((double - 2.0 * anchor).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pressure_reduces_prediction() {
+        let axes = axes();
+        let class = synthetic(&axes, GoalKind::Qps);
+        let est = Estimator::new(&axes, &class);
+        let quiet = PlannedNode {
+            platform_index: 0,
+            scale_up_col: axes.anchor_config,
+            pressure: PressureVector::zero(),
+        };
+        let noisy = PlannedNode {
+            pressure: PressureVector::uniform(90.0),
+            ..quiet
+        };
+        assert!(est.total_speed(&[noisy], None) < est.total_speed(&[quiet], None));
+    }
+
+    #[test]
+    fn time_kind_inverts_goal() {
+        let axes = axes();
+        let class = synthetic(&axes, GoalKind::Time);
+        let est = Estimator::new(&axes, &class);
+        let node = PlannedNode {
+            platform_index: axes.ref_platform_index(),
+            scale_up_col: axes.anchor_config,
+            pressure: PressureVector::zero(),
+        };
+        let goal_1 = est.predicted_goal(&[node], None);
+        let goal_2 = est.predicted_goal(&[node, node], None);
+        assert!(goal_2 < goal_1, "more nodes, shorter completion");
+    }
+
+    #[test]
+    fn single_node_kind_cannot_scale_out() {
+        let axes = axes();
+        let mut class = synthetic(&axes, GoalKind::Rate);
+        class.scale_out_speed = None;
+        let est = Estimator::new(&axes, &class);
+        assert_eq!(est.scale_out_efficiency(1), 1.0);
+        assert_eq!(est.scale_out_efficiency(2), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Load prediction for user-facing services.
+//!
+//! The paper notes (§4.1): "At the moment, Quasar does not employ load
+//! prediction for user-facing services. In future work, we will use such
+//! predictors as an additional signal to trigger adjustments." This
+//! module implements that extension: a windowed linear predictor over a
+//! service's offered load. When enabled
+//! ([`crate::QuasarConfig::predictive_scaling`]), the manager treats a
+//! predicted near-future load above the current provisioning point as an
+//! off-track signal and scales *before* the latency knee is hit.
+//!
+//! # Examples
+//!
+//! ```
+//! use quasar_core::predict::LoadPredictor;
+//!
+//! let mut p = LoadPredictor::new(8);
+//! for i in 0..8 {
+//!     p.observe(i as f64 * 10.0, 1_000.0 + i as f64 * 100.0);
+//! }
+//! // Rising ~10 QPS/s; 60 s ahead ≈ 2300.
+//! let ahead = p.forecast(70.0 + 60.0).unwrap();
+//! assert!((ahead - 2_300.0).abs() < 50.0);
+//! ```
+
+use std::collections::VecDeque;
+
+/// A sliding-window linear (least-squares) forecaster of offered load.
+#[derive(Debug, Clone)]
+pub struct LoadPredictor {
+    window: usize,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl LoadPredictor {
+    /// A predictor keeping the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` (a line needs two points).
+    pub fn new(window: usize) -> LoadPredictor {
+        assert!(window >= 2, "prediction window needs at least two samples");
+        LoadPredictor {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Records an observed `(time, offered QPS)` sample.
+    pub fn observe(&mut self, time_s: f64, offered_qps: f64) {
+        if let Some(&(last_t, _)) = self.samples.back() {
+            if time_s <= last_t {
+                return; // ignore out-of-order duplicates
+            }
+        }
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((time_s, offered_qps));
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Least-squares slope of the window, in QPS per second; `None` with
+    /// fewer than two samples.
+    pub fn slope(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let (mut st, mut sq, mut stt, mut stq) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, q) in &self.samples {
+            st += t;
+            sq += q;
+            stt += t * t;
+            stq += t * q;
+        }
+        let denominator = nf * stt - st * st;
+        if denominator.abs() < 1e-9 {
+            return None;
+        }
+        Some((nf * stq - st * sq) / denominator)
+    }
+
+    /// Forecast of the offered load at absolute time `at_s`, clamped to
+    /// non-negative; `None` with fewer than two samples.
+    pub fn forecast(&self, at_s: f64) -> Option<f64> {
+        let slope = self.slope()?;
+        let (mut st, mut sq) = (0.0, 0.0);
+        for &(t, q) in &self.samples {
+            st += t;
+            sq += q;
+        }
+        let n = self.samples.len() as f64;
+        let (mean_t, mean_q) = (st / n, sq / n);
+        Some((mean_q + slope * (at_s - mean_t)).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_line_exactly() {
+        let mut p = LoadPredictor::new(10);
+        for i in 0..10 {
+            p.observe(i as f64, 5.0 + 3.0 * i as f64);
+        }
+        assert!((p.slope().unwrap() - 3.0).abs() < 1e-9);
+        assert!((p.forecast(20.0).unwrap() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = LoadPredictor::new(4);
+        // Old regime falling, new regime rising: only the window counts.
+        for i in 0..4 {
+            p.observe(i as f64, 100.0 - i as f64 * 10.0);
+        }
+        for i in 4..8 {
+            p.observe(i as f64, 70.0 + (i - 4) as f64 * 20.0);
+        }
+        assert_eq!(p.len(), 4);
+        assert!(p.slope().unwrap() > 0.0, "window must reflect the new trend");
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        let mut p = LoadPredictor::new(4);
+        p.observe(0.0, 10.0);
+        p.observe(1.0, 5.0);
+        assert_eq!(p.forecast(100.0), Some(0.0));
+    }
+
+    #[test]
+    fn too_few_samples_yield_none() {
+        let mut p = LoadPredictor::new(4);
+        assert!(p.is_empty());
+        assert_eq!(p.slope(), None);
+        p.observe(0.0, 1.0);
+        assert_eq!(p.forecast(1.0), None);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_ignored() {
+        let mut p = LoadPredictor::new(4);
+        p.observe(5.0, 10.0);
+        p.observe(5.0, 99.0);
+        p.observe(3.0, 99.0);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Figure 1: the motivation — a reservation-managed production cluster
+//! runs at low utilization while reservations approach capacity.
+//!
+//! The paper plots a month of a Twitter cluster managed with Mesos. We
+//! regenerate the same four views from a simulated cluster managed with
+//! reservation + least-loaded placement, where users over/under-size per
+//! the measured Fig. 1d distribution: (a) aggregate CPU used vs reserved,
+//! (b) aggregate memory used vs reserved, (c) weekly CDFs of per-server
+//! CPU utilization, (d) the per-workload reserved/used ratio.
+
+use std::fmt;
+
+use quasar_baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager, UserErrorModel};
+use quasar_cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar_workloads::generate::Generator;
+use quasar_workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass};
+
+use crate::report::{mean, write_csv, TextTable};
+use crate::Scale;
+
+/// The Figure 1 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// `(hour, used, reserved)` aggregate CPU fractions.
+    pub cpu_series: Vec<(f64, f64, f64)>,
+    /// `(hour, used, reserved)` aggregate memory fractions.
+    pub memory_series: Vec<(f64, f64, f64)>,
+    /// Per-day CDFs of per-server mean CPU utilization (sorted samples).
+    pub daily_cpu_cdfs: Vec<Vec<f64>>,
+    /// Per-workload reserved/used core ratio, sorted ascending.
+    pub reserved_over_used: Vec<f64>,
+}
+
+impl Fig1Result {
+    /// Time-averaged aggregate CPU utilization.
+    pub fn mean_cpu_used(&self) -> f64 {
+        mean(&self.cpu_series.iter().map(|(_, u, _)| *u).collect::<Vec<_>>())
+    }
+
+    /// Time-averaged aggregate CPU reservation.
+    pub fn mean_cpu_reserved(&self) -> f64 {
+        mean(&self.cpu_series.iter().map(|(_, _, r)| *r).collect::<Vec<_>>())
+    }
+
+    /// Fraction of workloads that over-size their reservation (ratio > 1.2).
+    pub fn oversized_fraction(&self) -> f64 {
+        if self.reserved_over_used.is_empty() {
+            return 0.0;
+        }
+        self.reserved_over_used.iter().filter(|&&r| r > 1.2).count() as f64
+            / self.reserved_over_used.len() as f64
+    }
+}
+
+/// Runs the motivation scenario.
+pub fn run(scale: Scale) -> Fig1Result {
+    let (servers_per_platform, days, service_count, batch_count) = match scale {
+        Scale::Quick => (4, 2.0, 50, 40),
+        Scale::Full => (10, 7.0, 140, 160),
+    };
+    let catalog = PlatformCatalog::local();
+    let manager = BaselineManager::new(
+        AllocationPolicy::Reservation(UserErrorModel::paper()),
+        AssignmentPolicy::LeastLoaded,
+        None,
+        0xF161,
+    );
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), servers_per_platform),
+        Box::new(manager),
+        SimConfig {
+            tick_s: 60.0,
+            metrics_interval_s: 600.0,
+            ..SimConfig::default()
+        },
+    );
+
+    // The cluster "mostly hosts user-facing services" with diurnal load.
+    let mut generator = Generator::new(catalog, 0x711);
+    let mut service_ids = Vec::new();
+    for i in 0..service_count {
+        let class = if i % 4 == 0 {
+            WorkloadClass::Memcached
+        } else {
+            WorkloadClass::Webserver
+        };
+        let peak = 20_000.0 + (i as f64 * 911.0) % 60_000.0;
+        let svc = generator.service(
+            class,
+            format!("svc{i}"),
+            4.0 + (i % 8) as f64 * 4.0,
+            LoadPattern::Diurnal {
+                trough_qps: peak * 0.2,
+                peak_qps: peak,
+            },
+            Priority::Guaranteed,
+        );
+        service_ids.push(svc.id());
+        sim.submit_at(svc, (i as f64) * 30.0);
+    }
+    // Plus a background stream of batch work.
+    let horizon = days * LoadPattern::DAY_S;
+    for (i, job) in generator.best_effort_fill(batch_count).into_iter().enumerate() {
+        let at = (i as f64 / batch_count as f64) * horizon * 0.8;
+        sim.submit_at(job, at);
+    }
+
+    sim.run_until(horizon);
+
+    let samples = sim.world().metrics().samples();
+    let cpu_series: Vec<(f64, f64, f64)> = samples
+        .iter()
+        .map(|s| (s.time_s / 3_600.0, s.mean_cpu(), s.reserved_cpu))
+        .collect();
+    let memory_series: Vec<(f64, f64, f64)> = samples
+        .iter()
+        .map(|s| (s.time_s / 3_600.0, s.mean_memory(), s.reserved_memory))
+        .collect();
+
+    // Daily CDFs of per-server mean CPU utilization.
+    let mut daily_cpu_cdfs = Vec::new();
+    let n_servers = sim.world().servers().len();
+    for day in 0..days as usize {
+        let (from, to) = (day as f64 * LoadPattern::DAY_S, (day as f64 + 1.0) * LoadPattern::DAY_S);
+        let window: Vec<_> = samples
+            .iter()
+            .filter(|s| s.time_s >= from && s.time_s < to)
+            .collect();
+        if window.is_empty() {
+            continue;
+        }
+        let mut per_server = vec![0.0; n_servers];
+        for s in &window {
+            for (i, v) in s.cpu.iter().enumerate() {
+                per_server[i] += v;
+            }
+        }
+        for v in &mut per_server {
+            *v /= window.len() as f64;
+        }
+        per_server.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        daily_cpu_cdfs.push(per_server);
+    }
+
+    // Reserved/used ratio per service workload.
+    let mut reserved_over_used = Vec::new();
+    for record in sim.world().qos_records() {
+        let Some((reserved_cores, _)) = record.reserved else {
+            continue;
+        };
+        let used = record.peak_cores as f64 * record.mean_utilization.max(0.01);
+        if used > 0.0 {
+            reserved_over_used.push(reserved_cores as f64 / used);
+        }
+    }
+    for record in sim.world().completions() {
+        let Some((reserved_cores, _)) = record.reserved else {
+            continue;
+        };
+        if record.peak_cores > 0 {
+            reserved_over_used.push(reserved_cores as f64 / record.peak_cores as f64);
+        }
+    }
+    reserved_over_used.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let rows: Vec<Vec<f64>> = cpu_series.iter().map(|(h, u, r)| vec![*h, *u, *r]).collect();
+    write_csv("fig1", "cpu_used_vs_reserved", &["hour", "used", "reserved"], &rows);
+
+    Fig1Result {
+        cpu_series,
+        memory_series,
+        daily_cpu_cdfs,
+        reserved_over_used,
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new("Fig.1 (a/b) aggregate used vs reserved (time-averaged)")
+            .header(["resource", "used %", "reserved %"]);
+        t.row([
+            "CPU".to_string(),
+            format!("{:.1}", self.mean_cpu_used() * 100.0),
+            format!("{:.1}", self.mean_cpu_reserved() * 100.0),
+        ]);
+        let mem_used = mean(&self.memory_series.iter().map(|(_, u, _)| *u).collect::<Vec<_>>());
+        let mem_res = mean(&self.memory_series.iter().map(|(_, _, r)| *r).collect::<Vec<_>>());
+        t.row([
+            "memory".to_string(),
+            format!("{:.1}", mem_used * 100.0),
+            format!("{:.1}", mem_res * 100.0),
+        ]);
+        write!(f, "{}", t.render())?;
+
+        let mut t2 = TextTable::new("Fig.1c per-server CPU utilization CDF points (per day)")
+            .header(["day", "p10 %", "p50 %", "p90 %"]);
+        for (day, cdf) in self.daily_cpu_cdfs.iter().enumerate() {
+            let at = |p: f64| cdf[((cdf.len() - 1) as f64 * p) as usize] * 100.0;
+            t2.row([
+                format!("{}", day + 1),
+                format!("{:.1}", at(0.10)),
+                format!("{:.1}", at(0.50)),
+                format!("{:.1}", at(0.90)),
+            ]);
+        }
+        write!(f, "{}", t2.render())?;
+
+        writeln!(
+            f,
+            "Fig.1d: {} workloads; {:.0}% over-sized (ratio>1.2); median ratio {:.1}x; max {:.1}x",
+            self.reserved_over_used.len(),
+            self.oversized_fraction() * 100.0,
+            crate::report::percentile(&self.reserved_over_used, 0.5),
+            crate::report::maximum(&self.reserved_over_used),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_far_exceed_usage() {
+        let r = run(Scale::Quick);
+        assert!(
+            r.mean_cpu_reserved() > r.mean_cpu_used() * 1.5,
+            "reserved {:.2} vs used {:.2}: the motivation gap must appear",
+            r.mean_cpu_reserved(),
+            r.mean_cpu_used()
+        );
+        assert!(r.mean_cpu_used() < 0.5, "used CPU stays low");
+        assert!(!r.reserved_over_used.is_empty());
+        assert!(r.oversized_fraction() > 0.4);
+    }
+}

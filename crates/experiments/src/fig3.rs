@@ -1,0 +1,176 @@
+//! Figure 3: sensitivity of classification accuracy to input-matrix
+//! density (panels a–d) and the profiling/decision overheads as density
+//! grows, including four-parallel vs exhaustive decision time (panel e).
+
+use std::fmt;
+
+use crate::report::{mean, percentile, write_csv, TextTable};
+use crate::validate::{AppClass, ErrorSamples, Validator};
+use crate::{local_history, Scale};
+
+/// Error/overhead measurements at one density point for one app class.
+#[derive(Debug, Clone)]
+pub struct DensityPoint {
+    /// Entries per input-matrix row.
+    pub density: usize,
+    /// 90th-percentile error per axis: scale-up, scale-out,
+    /// heterogeneity, interference (NaN-free; 0 where the axis is absent).
+    pub p90_scale_up: f64,
+    /// Scale-out 90th-percentile error.
+    pub p90_scale_out: f64,
+    /// Heterogeneity 90th-percentile error.
+    pub p90_hetero: f64,
+    /// Interference 90th-percentile error.
+    pub p90_interference: f64,
+    /// Mean profiling wall-clock seconds per workload.
+    pub profile_s: f64,
+    /// Mean 4-parallel decision time, microseconds.
+    pub decide_us_parallel: f64,
+    /// Mean exhaustive decision time, microseconds.
+    pub decide_us_exhaustive: f64,
+}
+
+/// The Figure 3 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Per app class: the density sweep.
+    pub sweeps: Vec<(String, Vec<DensityPoint>)>,
+}
+
+impl Fig3Result {
+    /// Whether errors at density 2 are at most those at density 1, per
+    /// class (the paper's "two or more entries per row" finding).
+    pub fn density_two_improves(&self) -> bool {
+        self.sweeps.iter().all(|(_, points)| {
+            let d1 = points.iter().find(|p| p.density == 1);
+            let d2 = points.iter().find(|p| p.density == 2);
+            match (d1, d2) {
+                (Some(a), Some(b)) => b.p90_scale_up <= a.p90_scale_up * 1.05,
+                _ => true,
+            }
+        })
+    }
+}
+
+/// Runs the density sweep.
+pub fn run(scale: Scale) -> Fig3Result {
+    let (densities, per_point): (&[usize], usize) = match scale {
+        Scale::Quick => (&[1, 2, 4], 4),
+        Scale::Full => (&[1, 2, 3, 4, 5, 6, 8], 8),
+    };
+    let apps = [AppClass::Hadoop, AppClass::Memcached, AppClass::SingleNode];
+
+    let mut sweeps = Vec::new();
+    for app in apps {
+        let mut validator = Validator::new(local_history(), 0xF163 ^ app as u64);
+        let mut points = Vec::new();
+        for &d in densities {
+            let mut samples = ErrorSamples::default();
+            for i in 0..per_point {
+                let workload = validator.generate(app, i + d * 100);
+                // Exhaustive timing is only needed once per density point.
+                validator.validate(workload, d, i == 0, &mut samples);
+            }
+            points.push(DensityPoint {
+                density: d,
+                p90_scale_up: percentile(&samples.scale_up, 0.90),
+                p90_scale_out: percentile(&samples.scale_out, 0.90),
+                p90_hetero: percentile(&samples.hetero, 0.90),
+                p90_interference: percentile(&samples.interference, 0.90),
+                profile_s: mean(&samples.profile_wall_s),
+                decide_us_parallel: mean(&samples.decide_us_parallel),
+                decide_us_exhaustive: mean(&samples.decide_us_exhaustive),
+            });
+        }
+        sweeps.push((app.name().to_string(), points));
+    }
+
+    let rows: Vec<Vec<f64>> = sweeps
+        .iter()
+        .enumerate()
+        .flat_map(|(a, (_, points))| {
+            points.iter().map(move |p| {
+                vec![
+                    a as f64,
+                    p.density as f64,
+                    p.p90_scale_up,
+                    p.p90_hetero,
+                    p.p90_interference,
+                    p.profile_s,
+                    p.decide_us_parallel,
+                    p.decide_us_exhaustive,
+                ]
+            })
+        })
+        .collect();
+    write_csv(
+        "fig3",
+        "density_sweep",
+        &[
+            "app", "density", "p90_scale_up", "p90_hetero", "p90_interference", "profile_s",
+            "decide_us_4p", "decide_us_exh",
+        ],
+        &rows,
+    );
+
+    Fig3Result { sweeps }
+}
+
+impl fmt::Display for Fig3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new("Fig.3 classification error (90th pct, %) and overheads vs matrix density")
+            .header([
+                "app", "density", "scale-up", "scale-out", "hetero", "interference",
+                "profile s", "decide 4p us", "decide exh us",
+            ]);
+        for (app, points) in &self.sweeps {
+            for p in points {
+                t.row([
+                    app.clone(),
+                    p.density.to_string(),
+                    format!("{:.1}", p.p90_scale_up * 100.0),
+                    format!("{:.1}", p.p90_scale_out * 100.0),
+                    format!("{:.1}", p.p90_hetero * 100.0),
+                    format!("{:.1}", p.p90_interference * 100.0),
+                    format!("{:.0}", p.profile_s),
+                    format!("{:.0}", p.decide_us_parallel),
+                    format!("{:.0}", p.decide_us_exhaustive),
+                ]);
+            }
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sweeps.len(), 3);
+        for (_, points) in &r.sweeps {
+            assert_eq!(points.len(), 3);
+            // Profiling cost grows with density.
+            assert!(points.last().unwrap().profile_s >= points.first().unwrap().profile_s);
+        }
+        assert!(r.density_two_improves());
+    }
+
+    #[test]
+    fn exhaustive_decisions_are_slower() {
+        let r = run(Scale::Quick);
+        // The paper reports ~two orders of magnitude; require clearly
+        // slower.
+        for (app, points) in &r.sweeps {
+            let p = &points[0];
+            assert!(
+                p.decide_us_exhaustive > p.decide_us_parallel,
+                "{app}: exhaustive {}us vs 4p {}us",
+                p.decide_us_exhaustive,
+                p.decide_us_parallel
+            );
+        }
+    }
+}

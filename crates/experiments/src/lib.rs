@@ -1,0 +1,99 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! Quasar paper's evaluation (§6) against the simulated cluster.
+//!
+//! Each module corresponds to one figure/table (see DESIGN.md §4 for the
+//! full index) and exposes `run(scale) -> <result struct>` whose
+//! `Display` prints the same rows/series the paper reports. The
+//! `quasar-experiments` binary dispatches by id; the Criterion benches in
+//! `quasar-bench` call the same entry points at [`Scale::Quick`].
+//!
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not the authors' testbed); the *shape* — who wins, by what factor,
+//! where crossovers fall — is what these drivers reproduce, and
+//! EXPERIMENTS.md records paper-vs-measured for each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod fig1;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig67;
+pub mod fig8;
+pub mod fig910;
+pub mod report;
+pub mod table2;
+pub mod validate;
+
+use std::sync::OnceLock;
+
+use quasar_core::HistorySet;
+use quasar_workloads::PlatformCatalog;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Shrunk sizes for tests, benches, and quick looks (minutes of
+    /// simulated time, tens of workloads).
+    Quick,
+    /// The paper's scenario sizes (hours-to-days of simulated time,
+    /// hundreds of workloads). Slower to run.
+    Full,
+}
+
+impl Scale {
+    /// Parses `"quick"`/`"full"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The shared offline CF history for the local (Table 1) catalog,
+/// bootstrapped once per process.
+pub fn local_history() -> &'static HistorySet {
+    static HISTORY: OnceLock<HistorySet> = OnceLock::new();
+    HISTORY.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 24, 0x0FF1))
+}
+
+/// The shared offline CF history for the EC2 catalog.
+pub fn ec2_history() -> &'static HistorySet {
+    static HISTORY: OnceLock<HistorySet> = OnceLock::new();
+    HISTORY.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::ec2(), 24, 0x0FF2))
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 12] = [
+    "fig1", "fig2", "table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig11", "adaptation",
+];
+
+/// Runs one experiment by id, returning its printed report.
+///
+/// `"fig7"` reruns the Fig. 6 scenario and prints its utilization view;
+/// `"fig9"` also covers Fig. 10 (same 24-hour run), and `"fig5"` also
+/// prints Table 3. Unknown ids return `None`.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
+    let out = match id {
+        "fig1" => fig1::run(scale).to_string(),
+        "fig2" => fig2::run(scale).to_string(),
+        "table1" => fig2::table1(),
+        "table2" => table2::run(scale).to_string(),
+        "fig3" => fig3::run(scale).to_string(),
+        "fig5" | "table3" => fig5::run(scale).to_string(),
+        "fig6" => fig67::run(scale).to_string(),
+        "fig7" => fig67::run(scale).utilization_report(),
+        "fig8" => fig8::run(scale).to_string(),
+        "fig9" | "fig10" => fig910::run(scale).to_string(),
+        "fig11" => fig11::run(scale).to_string(),
+        "adaptation" => adaptation::run(scale).to_string(),
+        _ => return None,
+    };
+    Some(out)
+}

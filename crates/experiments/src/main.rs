@@ -1,0 +1,44 @@
+//! CLI for the Quasar reproduction experiments.
+//!
+//! ```text
+//! quasar-experiments <id>... [--full]
+//! quasar-experiments all [--full]
+//! ```
+
+use quasar_experiments::{run_experiment, Scale, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() {
+        eprintln!("usage: quasar-experiments <id>... [--full]");
+        eprintln!("ids: all {}", EXPERIMENT_IDS.join(" "));
+        std::process::exit(2);
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    for id in selected {
+        let started = std::time::Instant::now();
+        match run_experiment(id, scale) {
+            Some(report) => {
+                println!("###### {id} ({:?}) ######", scale);
+                println!("{report}");
+                println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Reporting helpers: text tables, simple statistics, CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Mean of a slice; 0 when empty.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The `p`-quantile (0..=1) of a slice by nearest-rank; 0 when empty.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Maximum of a slice; 0 when empty.
+pub fn maximum(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// A fixed-width text table with a title, header, and rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title.
+    pub fn new(title: impl Into<String>) -> TextTable {
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> TextTable {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut TextTable {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header));
+            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Writes rows as CSV under `target/experiment-results/<experiment>/<name>.csv`,
+/// returning the path. Errors are reported but not fatal (benches may run
+/// in read-only sandboxes).
+pub fn write_csv(
+    experiment: &str,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> Option<PathBuf> {
+    let dir = PathBuf::from("target/experiment-results").join(experiment);
+    if fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = header.join(",");
+    body.push('\n');
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|v| format!("{v:.6}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        body.push_str(&line);
+        body.push('\n');
+    }
+    fs::write(&path, body).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.90), 90.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(maximum(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("demo").header(["a", "bbbb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("333"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! The shared resources in which co-located workloads interfere.
+
+use std::fmt;
+
+/// Number of [`SharedResource`] variants.
+pub const RESOURCE_COUNT: usize = 10;
+
+/// A shared hardware resource that co-located workloads contend on.
+///
+/// The variants follow the interference patterns of Table 1 in the paper
+/// (memory, L1I cache, LL cache, disk I/O, network, L2 cache, CPU,
+/// prefetchers) extended with memory capacity and TLB to reach the "ten
+/// sources of interference" the paper sizes its per-workload state for.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_interference::SharedResource;
+/// assert_eq!(SharedResource::ALL.len(), 10);
+/// assert_eq!(SharedResource::Cpu.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SharedResource {
+    /// Core compute contention (SMT pipelines, shared FUs, power budget).
+    Cpu,
+    /// L1 instruction cache footprint.
+    L1i,
+    /// Private/shared L2 cache capacity.
+    L2,
+    /// Last-level cache capacity.
+    LlcCapacity,
+    /// Memory bandwidth.
+    MemoryBandwidth,
+    /// Memory capacity (thrashing when oversubscribed).
+    MemoryCapacity,
+    /// Hardware prefetcher contention.
+    Prefetch,
+    /// Disk/storage I/O bandwidth.
+    DiskIo,
+    /// Network bandwidth.
+    Network,
+    /// TLB capacity.
+    Tlb,
+}
+
+impl SharedResource {
+    /// All shared resources, in index order.
+    pub const ALL: [SharedResource; RESOURCE_COUNT] = [
+        SharedResource::Cpu,
+        SharedResource::L1i,
+        SharedResource::L2,
+        SharedResource::LlcCapacity,
+        SharedResource::MemoryBandwidth,
+        SharedResource::MemoryCapacity,
+        SharedResource::Prefetch,
+        SharedResource::DiskIo,
+        SharedResource::Network,
+        SharedResource::Tlb,
+    ];
+
+    /// The dense index of this resource within [`SharedResource::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The resource at dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= RESOURCE_COUNT`.
+    pub fn from_index(index: usize) -> SharedResource {
+        Self::ALL[index]
+    }
+
+    /// A short, stable, human-readable name (used in experiment tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            SharedResource::Cpu => "cpu",
+            SharedResource::L1i => "l1i",
+            SharedResource::L2 => "l2",
+            SharedResource::LlcCapacity => "llc",
+            SharedResource::MemoryBandwidth => "membw",
+            SharedResource::MemoryCapacity => "memcap",
+            SharedResource::Prefetch => "prefetch",
+            SharedResource::DiskIo => "disk",
+            SharedResource::Network => "network",
+            SharedResource::Tlb => "tlb",
+        }
+    }
+}
+
+impl fmt::Display for SharedResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, r) in SharedResource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(SharedResource::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SharedResource::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RESOURCE_COUNT);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(SharedResource::LlcCapacity.to_string(), "llc");
+    }
+}

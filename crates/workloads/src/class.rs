@@ -1,0 +1,155 @@
+//! Workload classes.
+
+use std::fmt;
+
+/// The classes of workloads Quasar manages (paper §5): distributed
+/// analytics frameworks, latency-critical services (stateless and
+/// stateful), and single-node batch jobs.
+///
+/// The class determines which allocation knobs apply (scale-out only for
+/// distributed workloads), how the workload is profiled, and the form of
+/// its QoS target (completion time, QPS + latency, or IPS).
+///
+/// # Examples
+///
+/// ```
+/// use quasar_workloads::WorkloadClass;
+///
+/// assert!(WorkloadClass::Memcached.is_latency_critical());
+/// assert!(!WorkloadClass::SingleNode.is_distributed());
+/// assert!(WorkloadClass::Cassandra.is_stateful());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Hadoop-style MapReduce batch analytics (Mahout jobs in the paper).
+    Hadoop,
+    /// Storm-style streaming analytics.
+    Storm,
+    /// Spark-style in-memory analytics.
+    Spark,
+    /// Single-server batch job (SPEC/PARSEC/... in the paper).
+    SingleNode,
+    /// In-memory key-value store under live traffic.
+    Memcached,
+    /// Disk-backed NoSQL store under live traffic.
+    Cassandra,
+    /// Stateless web-serving tier (HotCRP in the paper).
+    Webserver,
+}
+
+impl WorkloadClass {
+    /// All classes.
+    pub const ALL: [WorkloadClass; 7] = [
+        WorkloadClass::Hadoop,
+        WorkloadClass::Storm,
+        WorkloadClass::Spark,
+        WorkloadClass::SingleNode,
+        WorkloadClass::Memcached,
+        WorkloadClass::Cassandra,
+        WorkloadClass::Webserver,
+    ];
+
+    /// Whether this class can use more than one server (scale-out applies).
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, WorkloadClass::SingleNode)
+    }
+
+    /// Whether this class serves live traffic with a latency constraint.
+    pub fn is_latency_critical(self) -> bool {
+        matches!(
+            self,
+            WorkloadClass::Memcached | WorkloadClass::Cassandra | WorkloadClass::Webserver
+        )
+    }
+
+    /// Whether this class carries significant state, making scale-out and
+    /// migration expensive (microshard migration in the paper, §4.1).
+    pub fn is_stateful(self) -> bool {
+        matches!(self, WorkloadClass::Memcached | WorkloadClass::Cassandra)
+    }
+
+    /// Whether this class is a batch job that runs to completion.
+    pub fn is_batch(self) -> bool {
+        !self.is_latency_critical()
+    }
+
+    /// Whether this class exposes framework parameters (mappers per node,
+    /// heap size, ...) that the manager can configure.
+    pub fn has_framework_params(self) -> bool {
+        matches!(
+            self,
+            WorkloadClass::Hadoop | WorkloadClass::Spark | WorkloadClass::Storm
+        )
+    }
+
+    /// A short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::Hadoop => "hadoop",
+            WorkloadClass::Storm => "storm",
+            WorkloadClass::Spark => "spark",
+            WorkloadClass::SingleNode => "single-node",
+            WorkloadClass::Memcached => "memcached",
+            WorkloadClass::Cassandra => "cassandra",
+            WorkloadClass::Webserver => "webserver",
+        }
+    }
+
+    /// Setup time before profiling can begin, in seconds (paper §3.2:
+    /// stateful services take 3–5 minutes to warm up; non-stateful batch
+    /// profiling takes seconds).
+    pub fn setup_seconds(self) -> f64 {
+        match self {
+            WorkloadClass::Cassandra => 240.0,
+            WorkloadClass::Memcached => 120.0,
+            WorkloadClass::Webserver => 30.0,
+            WorkloadClass::Hadoop | WorkloadClass::Spark | WorkloadClass::Storm => 15.0,
+            WorkloadClass::SingleNode => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_properties_are_consistent() {
+        for class in WorkloadClass::ALL {
+            // A workload is either batch or latency-critical, never both.
+            assert_ne!(class.is_batch(), class.is_latency_critical());
+            // Stateful implies latency-critical in our model.
+            if class.is_stateful() {
+                assert!(class.is_latency_critical());
+            }
+        }
+    }
+
+    #[test]
+    fn only_single_node_is_not_distributed() {
+        for class in WorkloadClass::ALL {
+            assert_eq!(class.is_distributed(), class != WorkloadClass::SingleNode);
+        }
+    }
+
+    #[test]
+    fn stateful_services_have_long_setup() {
+        assert!(
+            WorkloadClass::Cassandra.setup_seconds() > WorkloadClass::Hadoop.setup_seconds() * 10.0
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = WorkloadClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WorkloadClass::ALL.len());
+    }
+}

@@ -1,0 +1,51 @@
+//! Platform catalogs, datasets, and ground-truth workload performance
+//! models for the Quasar reproduction.
+//!
+//! The Quasar paper evaluates on real clusters running Hadoop, Storm,
+//! Spark, memcached, Cassandra, a HotCRP web stack, and hundreds of
+//! single-node benchmarks. This crate is the simulated substitute: a
+//! *parametric performance physics* that reproduces the response surfaces
+//! of Figure 2 — up to ~7x spread across server platforms, up to ~10x
+//! slowdown under adversarial interference, sub- and super-linear
+//! scale-out, memory cliffs on scale-up, and dataset-dependent knees in the
+//! QPS/latency curves of latency-critical services.
+//!
+//! The key contract: the manager under test (Quasar or a baseline) never
+//! reads these models directly. It observes performance through the
+//! cluster simulator's measurement APIs, exactly like the real system
+//! profiles real workloads.
+//!
+//! Main types:
+//!
+//! * [`Platform`] / [`PlatformCatalog`] — the 10 local server configs of
+//!   Table 1 and a 14-type EC2-like fleet.
+//! * [`Dataset`] — input datasets with size and complexity.
+//! * [`WorkloadClass`] — Hadoop/Storm/Spark batch, single-node batch,
+//!   memcached/Cassandra/webserver services.
+//! * [`PerfModel`] — the ground-truth performance surface of one workload.
+//! * [`Workload`] / [`WorkloadSpec`] — a schedulable workload: the public
+//!   spec (what a user submits: class + QoS target) plus the hidden model.
+//! * [`LoadPattern`] — flat/fluctuating/spike/diurnal request loads.
+//! * [`generate`] — seeded generators for every evaluation scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod dataset;
+mod framework;
+pub mod generate;
+mod load;
+mod model;
+mod platform;
+mod spec;
+mod target;
+
+pub use class::WorkloadClass;
+pub use dataset::Dataset;
+pub use framework::{hadoop_wave_nodes, FrameworkParams};
+pub use load::LoadPattern;
+pub use model::{BatchModel, NodeResources, PerfModel, ServiceModel, ServiceObservation};
+pub use platform::{Platform, PlatformCatalog, PlatformId};
+pub use spec::{Priority, Workload, WorkloadId, WorkloadSpec};
+pub use target::QosTarget;

@@ -1,0 +1,164 @@
+//! Request-load patterns for latency-critical services.
+
+use std::f64::consts::TAU;
+
+/// The offered load (QPS) of a latency-critical service as a function of
+/// time, covering the traffic scenarios of the paper's evaluation: flat,
+/// fluctuating, a large spike (Fig. 8), and a diurnal pattern (Fig. 9).
+///
+/// # Examples
+///
+/// ```
+/// use quasar_workloads::LoadPattern;
+///
+/// let spike = LoadPattern::Spike {
+///     base_qps: 100.0,
+///     spike_qps: 400.0,
+///     start_s: 1000.0,
+///     duration_s: 600.0,
+/// };
+/// assert_eq!(spike.qps_at(0.0), 100.0);
+/// assert_eq!(spike.qps_at(1200.0), 400.0);
+/// assert_eq!(spike.qps_at(2000.0), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadPattern {
+    /// Constant load.
+    Flat {
+        /// Offered load in QPS.
+        qps: f64,
+    },
+    /// Sinusoidal fluctuation around a base load.
+    Fluctuating {
+        /// Mean offered load in QPS.
+        base_qps: f64,
+        /// Peak deviation from the mean in QPS.
+        amplitude_qps: f64,
+        /// Oscillation period in seconds.
+        period_s: f64,
+    },
+    /// Flat load with one rectangular spike.
+    Spike {
+        /// Baseline load in QPS.
+        base_qps: f64,
+        /// Load during the spike in QPS.
+        spike_qps: f64,
+        /// Spike start time in seconds.
+        start_s: f64,
+        /// Spike duration in seconds.
+        duration_s: f64,
+    },
+    /// A 24-hour diurnal pattern between a trough and a peak.
+    Diurnal {
+        /// Minimum offered load in QPS.
+        trough_qps: f64,
+        /// Maximum offered load in QPS.
+        peak_qps: f64,
+    },
+}
+
+impl LoadPattern {
+    /// Seconds in a day, the diurnal period.
+    pub const DAY_S: f64 = 86_400.0;
+
+    /// Offered load at time `t` seconds, always non-negative.
+    pub fn qps_at(&self, t: f64) -> f64 {
+        let qps = match *self {
+            LoadPattern::Flat { qps } => qps,
+            LoadPattern::Fluctuating {
+                base_qps,
+                amplitude_qps,
+                period_s,
+            } => base_qps + amplitude_qps * (TAU * t / period_s).sin(),
+            LoadPattern::Spike {
+                base_qps,
+                spike_qps,
+                start_s,
+                duration_s,
+            } => {
+                if t >= start_s && t < start_s + duration_s {
+                    spike_qps
+                } else {
+                    base_qps
+                }
+            }
+            LoadPattern::Diurnal {
+                trough_qps,
+                peak_qps,
+            } => {
+                // Peak mid-day, trough at t=0 (midnight).
+                let phase = (TAU * t / LoadPattern::DAY_S - std::f64::consts::PI / 2.0).sin();
+                let mid = (trough_qps + peak_qps) / 2.0;
+                let amp = (peak_qps - trough_qps) / 2.0;
+                mid + amp * phase
+            }
+        };
+        qps.max(0.0)
+    }
+
+    /// The maximum load this pattern can offer at any time.
+    pub fn peak_qps(&self) -> f64 {
+        match *self {
+            LoadPattern::Flat { qps } => qps,
+            LoadPattern::Fluctuating {
+                base_qps,
+                amplitude_qps,
+                ..
+            } => base_qps + amplitude_qps.abs(),
+            LoadPattern::Spike {
+                base_qps, spike_qps, ..
+            } => base_qps.max(spike_qps),
+            LoadPattern::Diurnal { peak_qps, .. } => peak_qps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_constant() {
+        let p = LoadPattern::Flat { qps: 50.0 };
+        for t in [0.0, 100.0, 1e6] {
+            assert_eq!(p.qps_at(t), 50.0);
+        }
+    }
+
+    #[test]
+    fn fluctuating_stays_within_amplitude() {
+        let p = LoadPattern::Fluctuating {
+            base_qps: 100.0,
+            amplitude_qps: 30.0,
+            period_s: 600.0,
+        };
+        for i in 0..200 {
+            let q = p.qps_at(i as f64 * 17.0);
+            assert!((70.0..=130.0).contains(&q), "q={q}");
+        }
+        assert_eq!(p.peak_qps(), 130.0);
+    }
+
+    #[test]
+    fn diurnal_peaks_midday_troughs_midnight() {
+        let p = LoadPattern::Diurnal {
+            trough_qps: 10.0,
+            peak_qps: 100.0,
+        };
+        assert!((p.qps_at(0.0) - 10.0).abs() < 1e-6);
+        assert!((p.qps_at(LoadPattern::DAY_S / 2.0) - 100.0).abs() < 1e-6);
+        assert!((p.qps_at(LoadPattern::DAY_S) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_is_never_negative() {
+        let p = LoadPattern::Fluctuating {
+            base_qps: 10.0,
+            amplitude_qps: 50.0,
+            period_s: 100.0,
+        };
+        for i in 0..100 {
+            assert!(p.qps_at(i as f64) >= 0.0);
+        }
+    }
+}

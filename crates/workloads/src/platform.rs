@@ -1,0 +1,260 @@
+//! Server platform catalogs.
+//!
+//! Table 1 of the paper lists the ten platforms (A–J) of the local
+//! cluster, from dual-core Atom boards to dual-socket 24-core Xeons; the
+//! EC2 cluster has 14 dedicated instance types from small to x-large. The
+//! catalogs here mirror those shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimension of the latent affinity space shared by platforms and
+/// workloads (see [`crate::PerfModel`]).
+pub const LATENT_DIM: usize = 6;
+
+/// Identifier of a platform within its catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlatformId(pub usize);
+
+impl std::fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A server configuration: capacities plus a latent performance signature.
+///
+/// `core_speed` is a relative per-core throughput scalar (1.0 = mid-range
+/// core). The `latent` vector encodes microarchitectural character (cache
+/// sizes, memory bandwidth, storage, ...); a workload's platform affinity
+/// is a function of the dot product of the two latent vectors, which gives
+/// the performance matrix the approximately low-rank structure that
+/// collaborative filtering exploits.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_workloads::PlatformCatalog;
+///
+/// let local = PlatformCatalog::local();
+/// assert_eq!(local.len(), 10);
+/// let best = local.highest_end();
+/// assert_eq!(best.cores, 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Identifier within the owning catalog.
+    pub id: PlatformId,
+    /// Human-readable name ("A".."J" locally, instance names on EC2).
+    pub name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// Memory capacity in GB.
+    pub memory_gb: f64,
+    /// Local storage capacity in GB.
+    pub disk_gb: f64,
+    /// Relative per-core speed (1.0 = baseline core).
+    pub core_speed: f64,
+    /// Latent microarchitectural signature, components in `[0, 1]`.
+    pub latent: [f64; LATENT_DIM],
+}
+
+impl Platform {
+    /// A crude scalar "size" used for ranking and for the scale-up
+    /// headroom a platform offers: total core-seconds of compute.
+    pub fn compute_capacity(&self) -> f64 {
+        self.cores as f64 * self.core_speed
+    }
+
+    /// Hourly price of the whole server in dollars, EC2-style: compute
+    /// plus memory, so bigger and faster machines cost more. Used by the
+    /// cost-aware allocation extension (paper §4.4).
+    pub fn price_per_hour(&self) -> f64 {
+        0.02 * self.compute_capacity() + 0.005 * self.memory_gb
+    }
+}
+
+/// An ordered set of platforms making up a cluster's hardware mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformCatalog {
+    platforms: Vec<Platform>,
+}
+
+impl PlatformCatalog {
+    /// Builds a catalog from explicit `(name, cores, memory_gb, disk_gb,
+    /// core_speed)` tuples; latent vectors are derived deterministically
+    /// from `seed`.
+    pub fn from_specs(specs: &[(&str, u32, f64, f64, f64)], seed: u64) -> PlatformCatalog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let platforms = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, cores, memory_gb, disk_gb, core_speed))| {
+                let mut latent = [0.0; LATENT_DIM];
+                for l in &mut latent {
+                    *l = rng.random_range(0.0..1.0);
+                }
+                // Tie part of the signature to the visible specs so that
+                // similar hardware has similar signatures.
+                latent[0] = (core_speed / 1.6).clamp(0.0, 1.0);
+                latent[1] = (memory_gb / 64.0).clamp(0.0, 1.0);
+                latent[2] = (cores as f64 / 24.0).clamp(0.0, 1.0);
+                Platform {
+                    id: PlatformId(i),
+                    name: name.to_string(),
+                    cores,
+                    memory_gb,
+                    disk_gb,
+                    core_speed,
+                    latent,
+                }
+            })
+            .collect();
+        PlatformCatalog { platforms }
+    }
+
+    /// The ten-platform local cluster of Table 1 (A–J): cores 2..24,
+    /// memory 4..48 GB, from low-power Atom-class to dual-socket Xeons.
+    pub fn local() -> PlatformCatalog {
+        PlatformCatalog::from_specs(
+            &[
+                ("A", 2, 4.0, 120.0, 0.45),
+                ("B", 4, 8.0, 240.0, 0.70),
+                ("C", 8, 12.0, 480.0, 0.85),
+                ("D", 8, 16.0, 480.0, 0.95),
+                ("E", 8, 20.0, 480.0, 1.00),
+                ("F", 8, 24.0, 960.0, 1.05),
+                ("G", 12, 16.0, 960.0, 1.05),
+                ("H", 12, 24.0, 960.0, 1.15),
+                ("I", 16, 48.0, 1920.0, 1.25),
+                ("J", 24, 48.0, 1920.0, 1.30),
+            ],
+            0x0A_110C,
+        )
+    }
+
+    /// A 14-type dedicated EC2-like fleet, small through x-large.
+    pub fn ec2() -> PlatformCatalog {
+        PlatformCatalog::from_specs(
+            &[
+                ("m1.small", 1, 1.7, 160.0, 0.40),
+                ("m1.medium", 1, 3.75, 410.0, 0.55),
+                ("m1.large", 2, 7.5, 840.0, 0.60),
+                ("m1.xlarge", 4, 15.0, 1680.0, 0.65),
+                ("m3.medium", 1, 3.75, 40.0, 0.75),
+                ("m3.large", 2, 7.5, 80.0, 0.85),
+                ("m3.xlarge", 4, 15.0, 160.0, 0.95),
+                ("m3.2xlarge", 8, 30.0, 320.0, 1.00),
+                ("c3.large", 2, 3.75, 64.0, 1.05),
+                ("c3.xlarge", 4, 7.5, 128.0, 1.10),
+                ("c3.2xlarge", 8, 15.0, 320.0, 1.15),
+                ("r3.large", 2, 15.0, 64.0, 1.00),
+                ("r3.xlarge", 4, 30.5, 160.0, 1.05),
+                ("r3.2xlarge", 8, 61.0, 320.0, 1.10),
+            ],
+            0xEC2,
+        )
+    }
+
+    /// Number of platforms.
+    pub fn len(&self) -> usize {
+        self.platforms.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.platforms.is_empty()
+    }
+
+    /// The platform with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: PlatformId) -> &Platform {
+        &self.platforms[id.0]
+    }
+
+    /// Iterates over all platforms in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Platform> {
+        self.platforms.iter()
+    }
+
+    /// The platform with the largest compute capacity — the paper profiles
+    /// scale-up on "the highest-end platform, which offers the largest
+    /// number of scale-up options".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty.
+    pub fn highest_end(&self) -> &Platform {
+        self.platforms
+            .iter()
+            .max_by(|a, b| {
+                a.compute_capacity()
+                    .partial_cmp(&b.compute_capacity())
+                    .expect("capacities are finite")
+            })
+            .expect("catalog must be non-empty")
+    }
+
+    /// Looks a platform up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Platform> {
+        self.platforms.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_catalog_matches_table1_shape() {
+        let cat = PlatformCatalog::local();
+        assert_eq!(cat.len(), 10);
+        let a = cat.by_name("A").unwrap();
+        assert_eq!((a.cores, a.memory_gb), (2, 4.0));
+        let j = cat.by_name("J").unwrap();
+        assert_eq!((j.cores, j.memory_gb), (24, 48.0));
+    }
+
+    #[test]
+    fn ec2_catalog_has_14_types() {
+        assert_eq!(PlatformCatalog::ec2().len(), 14);
+    }
+
+    #[test]
+    fn highest_end_is_the_biggest_box() {
+        let cat = PlatformCatalog::local();
+        assert_eq!(cat.highest_end().name, "J");
+    }
+
+    #[test]
+    fn latent_vectors_are_deterministic_and_bounded() {
+        let a = PlatformCatalog::local();
+        let b = PlatformCatalog::local();
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(pa.latent, pb.latent);
+            for l in pa.latent {
+                assert!((0.0..=1.0).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_servers_cost_more() {
+        let cat = PlatformCatalog::local();
+        let a = cat.by_name("A").unwrap().price_per_hour();
+        let j = cat.by_name("J").unwrap().price_per_hour();
+        assert!(j > a * 3.0, "J {j:.3} vs A {a:.3}");
+    }
+
+    #[test]
+    fn ids_match_positions() {
+        let cat = PlatformCatalog::ec2();
+        for (i, p) in cat.iter().enumerate() {
+            assert_eq!(p.id, PlatformId(i));
+            assert_eq!(cat.get(p.id), p);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! User-facing performance targets.
+
+use std::fmt;
+
+/// The performance constraint a user attaches to a workload at submission
+/// time — Quasar's replacement for resource reservations (paper §3.1).
+///
+/// * Latency-critical services: a QPS target plus a tail-latency bound.
+/// * Distributed analytics: an execution-time bound.
+/// * Single-node workloads: an instructions-per-second (IPS) floor.
+///
+/// # Examples
+///
+/// ```
+/// use quasar_workloads::QosTarget;
+///
+/// let t = QosTarget::throughput(100_000.0, 10_000.0);
+/// assert!(t.is_latency_target());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QosTarget {
+    /// Finish within `seconds` of wall-clock execution time.
+    CompletionTime {
+        /// Execution-time bound in seconds.
+        seconds: f64,
+    },
+    /// Serve `qps` queries per second with 99th-percentile latency at or
+    /// below `p99_latency_us` microseconds.
+    Throughput {
+        /// Queries-per-second target.
+        qps: f64,
+        /// 99th-percentile latency bound in microseconds.
+        p99_latency_us: f64,
+    },
+    /// Sustain at least `ips` instructions per second (relative units).
+    Ips {
+        /// Instruction-rate floor.
+        ips: f64,
+    },
+}
+
+impl QosTarget {
+    /// A completion-time target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive and finite.
+    pub fn completion(seconds: f64) -> QosTarget {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "completion target must be positive"
+        );
+        QosTarget::CompletionTime { seconds }
+    }
+
+    /// A throughput + tail-latency target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive and finite.
+    pub fn throughput(qps: f64, p99_latency_us: f64) -> QosTarget {
+        assert!(qps.is_finite() && qps > 0.0, "qps target must be positive");
+        assert!(
+            p99_latency_us.is_finite() && p99_latency_us > 0.0,
+            "latency target must be positive"
+        );
+        QosTarget::Throughput { qps, p99_latency_us }
+    }
+
+    /// An instruction-rate target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ips` is not positive and finite.
+    pub fn ips(ips: f64) -> QosTarget {
+        assert!(ips.is_finite() && ips > 0.0, "ips target must be positive");
+        QosTarget::Ips { ips }
+    }
+
+    /// Whether this target includes a latency constraint.
+    pub fn is_latency_target(&self) -> bool {
+        matches!(self, QosTarget::Throughput { .. })
+    }
+
+    /// The throughput component of the target, interpreted uniformly:
+    /// QPS for services, work-rate implied by the deadline for batch
+    /// (reported as `1/seconds`), and IPS for single-node jobs.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            QosTarget::CompletionTime { seconds } => 1.0 / seconds,
+            QosTarget::Throughput { qps, .. } => qps,
+            QosTarget::Ips { ips } => ips,
+        }
+    }
+}
+
+impl fmt::Display for QosTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QosTarget::CompletionTime { seconds } => write!(f, "complete in {seconds:.0}s"),
+            QosTarget::Throughput { qps, p99_latency_us } => {
+                write!(f, "{qps:.0} QPS @ p99 <= {p99_latency_us:.0}us")
+            }
+            QosTarget::Ips { ips } => write!(f, "{ips:.2e} IPS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        let t = QosTarget::completion(3600.0);
+        assert_eq!(t, QosTarget::CompletionTime { seconds: 3600.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "qps target must be positive")]
+    fn negative_qps_panics() {
+        QosTarget::throughput(-1.0, 100.0);
+    }
+
+    #[test]
+    fn rate_inverts_completion_time() {
+        assert_eq!(QosTarget::completion(100.0).rate(), 0.01);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(QosTarget::completion(60.0).to_string(), "complete in 60s");
+        assert!(QosTarget::throughput(1000.0, 200.0)
+            .to_string()
+            .contains("QPS"));
+        assert!(QosTarget::ips(1e9).to_string().contains("IPS"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the ground-truth performance physics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use quasar_interference::PressureVector;
+use quasar_workloads::{
+    BatchModel, Dataset, FrameworkParams, LoadPattern, NodeResources, PlatformCatalog,
+    ServiceModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch rate is monotone in cores and memory, and positive.
+    #[test]
+    fn batch_rate_monotone_in_resources(seed in 0u64..500, size in 1.0..80.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BatchModel::sample(Dataset::new("p", size, 1.0), true, &mut rng);
+        let catalog = PlatformCatalog::local();
+        let p = catalog.highest_end();
+        let params = FrameworkParams::default();
+        let rate = |cores: u32, mem: f64| {
+            model.node_rate(p, NodeResources::new(cores, mem), &params, &PressureVector::zero(), 1)
+        };
+        let mut last = 0.0;
+        for cores in [1u32, 2, 4, 8, 16, 24] {
+            let r = rate(cores, 16.0);
+            prop_assert!(r > 0.0);
+            prop_assert!(r >= last - 1e-12, "cores monotonicity");
+            last = r;
+        }
+        let mut last = 0.0;
+        for mem in [1.0, 4.0, 16.0, 48.0] {
+            let r = rate(8, mem);
+            prop_assert!(r >= last - 1e-12, "memory monotonicity");
+            last = r;
+        }
+    }
+
+    /// Interference can only slow a batch job down.
+    #[test]
+    fn pressure_never_speeds_up_batch(seed in 0u64..500, pressure in 0.0..100.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BatchModel::sample(Dataset::new("p", 10.0, 1.0), true, &mut rng);
+        let catalog = PlatformCatalog::local();
+        let p = catalog.highest_end();
+        let params = FrameworkParams::default();
+        let quiet = model.node_rate(p, NodeResources::all_of(p), &params, &PressureVector::zero(), 1);
+        let noisy = model.node_rate(
+            p,
+            NodeResources::all_of(p),
+            &params,
+            &PressureVector::uniform(pressure),
+            1,
+        );
+        prop_assert!(noisy <= quiet + 1e-12);
+    }
+
+    /// Calibration makes the calibrated configuration hit the requested
+    /// duration exactly.
+    #[test]
+    fn calibration_round_trips(seed in 0u64..500, duration in 60.0..20_000.0f64, nodes in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = BatchModel::sample(Dataset::new("p", 10.0, 1.0), true, &mut rng);
+        let catalog = PlatformCatalog::local();
+        let p = catalog.highest_end();
+        model.calibrate_work(p, nodes, duration);
+        let allocs: Vec<_> = (0..nodes)
+            .map(|_| (p, NodeResources::all_of(p), PressureVector::zero()))
+            .collect();
+        let t = model
+            .completion_time(model.total_work(), &allocs, &FrameworkParams::default())
+            .unwrap();
+        prop_assert!((t - duration).abs() / duration < 1e-9);
+    }
+
+    /// A service never serves more than offered or more than capacity,
+    /// and p99 dominates the mean.
+    #[test]
+    fn service_observation_invariants(
+        seed in 0u64..500,
+        state in 1.0..200.0f64,
+        frac in 0.01..3.0f64,
+        nodes in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ServiceModel::sample(Dataset::new("p", 1.0, 1.0), state, seed % 2 == 0, &mut rng);
+        let catalog = PlatformCatalog::local();
+        let p = catalog.highest_end();
+        let allocs: Vec<_> = (0..nodes)
+            .map(|_| (p, NodeResources::all_of(p), PressureVector::zero()))
+            .collect();
+        let capacity = model.total_capacity(&allocs);
+        prop_assert!(capacity > 0.0);
+        let offered = capacity * frac;
+        let obs = model.observe(offered, &allocs);
+        prop_assert!(obs.achieved_qps <= offered + 1e-9);
+        prop_assert!(obs.achieved_qps <= capacity + 1e-9);
+        prop_assert!(obs.p99_latency_us >= obs.mean_latency_us);
+        prop_assert!(obs.mean_latency_us > 0.0);
+    }
+
+    /// The knee never exceeds capacity and respects the latency bound.
+    #[test]
+    fn knee_is_feasible(seed in 0u64..300, bound_us in 100.0..50_000.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ServiceModel::sample(Dataset::new("p", 1.0, 1.0), 16.0, false, &mut rng);
+        let catalog = PlatformCatalog::local();
+        let p = catalog.highest_end();
+        let allocs = [(p, NodeResources::all_of(p), PressureVector::zero())];
+        let capacity = model.total_capacity(&allocs);
+        let knee = model.knee_qps(&allocs, bound_us);
+        prop_assert!(knee >= 0.0 && knee <= capacity + 1e-9);
+        if knee > 1.0 {
+            let obs = model.observe(knee * 0.999, &allocs);
+            prop_assert!(obs.p99_latency_us <= bound_us * 1.01, "p99 {} at knee", obs.p99_latency_us);
+        }
+    }
+
+    /// Load patterns are non-negative everywhere and never exceed their
+    /// declared peak.
+    #[test]
+    fn load_patterns_respect_peak(base in 1.0..1e6f64, amp_frac in 0.0..1.0f64, t in 0.0..1e6f64) {
+        let patterns = [
+            LoadPattern::Flat { qps: base },
+            LoadPattern::Fluctuating { base_qps: base, amplitude_qps: base * amp_frac, period_s: 600.0 },
+            LoadPattern::Spike { base_qps: base, spike_qps: base * 4.0, start_s: 100.0, duration_s: 200.0 },
+            LoadPattern::Diurnal { trough_qps: base * 0.2, peak_qps: base },
+        ];
+        for p in patterns {
+            let q = p.qps_at(t);
+            prop_assert!(q >= 0.0);
+            prop_assert!(q <= p.peak_qps() + 1e-9);
+        }
+    }
+}

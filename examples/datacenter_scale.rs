@@ -1,0 +1,85 @@
+//! Datacenter scale (the Fig. 11 scenario, shrunk): a mixed fleet of
+//! analytics jobs, latency-critical services, and single-node batch work
+//! arrives every couple of seconds on an EC2-style heterogeneous cluster.
+//! Prints performance normalized to each workload's target and the
+//! steady-state utilization Quasar achieves.
+//!
+//! Run with: `cargo run --release --example datacenter_scale`
+
+use quasar::cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar::core::{QuasarConfig, QuasarManager};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::{PlatformCatalog, QosTarget};
+
+fn main() {
+    let catalog = PlatformCatalog::ec2();
+    println!(
+        "cluster: {} servers across {} EC2-style instance types",
+        ClusterSpec::uniform(catalog.clone(), 8).total_servers(),
+        catalog.len()
+    );
+    println!("bootstrapping offline history...");
+    let manager = QuasarManager::bootstrap(&catalog, QuasarConfig::default());
+
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 8),
+        Box::new(manager),
+        SimConfig {
+            metrics_interval_s: 60.0,
+            ..SimConfig::default()
+        },
+    );
+
+    let mut generator = Generator::new(catalog, 0xDC);
+    let fleet = generator.mixed_fleet(48);
+    let ids: Vec<_> = fleet.iter().map(|w| (w.id(), w.spec().target)).collect();
+    for (i, w) in fleet.into_iter().enumerate() {
+        sim.submit_at(w, i as f64 * 2.0);
+    }
+    let arrival_end = ids.len() as f64 * 2.0;
+    sim.run_until(arrival_end + 8_000.0);
+
+    let world = sim.world();
+    let completions = world.completions();
+    let qos = world.qos_records();
+    let mut scores = Vec::new();
+    for (id, target) in &ids {
+        let score = match target {
+            QosTarget::CompletionTime { seconds } => completions
+                .iter()
+                .find(|r| r.id == *id)
+                .and_then(|r| r.execution_s())
+                .map(|exec| (seconds / exec).min(1.0))
+                .unwrap_or(0.0),
+            QosTarget::Ips { ips } => completions
+                .iter()
+                .find(|r| r.id == *id)
+                .and_then(|r| r.achieved_rate())
+                .map(|rate| (rate / ips).min(1.0))
+                .unwrap_or(0.0),
+            QosTarget::Throughput { .. } => qos
+                .iter()
+                .find(|r| r.id == *id)
+                .map(|r| r.qos_fraction())
+                .unwrap_or(0.0),
+        };
+        scores.push(score);
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    println!(
+        "performance normalized to target: mean {:.2}, median {:.2}, worst {:.2}",
+        mean,
+        scores[scores.len() / 2],
+        scores.first().copied().unwrap_or(0.0)
+    );
+    let summary = world
+        .metrics()
+        .summary_between(arrival_end * 0.5, world.now() * 0.9);
+    println!(
+        "steady-state utilization: {:.1}% CPU used, {:.1}% allocated",
+        summary.mean_cpu * 100.0,
+        summary.mean_allocated_cpu * 100.0
+    );
+}

@@ -1,0 +1,80 @@
+//! A tour of the §4.4 extension features: cost targets, predictive
+//! scaling, resource partitioning, and manager failover.
+//!
+//! Run with: `cargo run --release --example extensions_tour`
+
+use quasar::cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar::core::{HistorySet, QuasarConfig, QuasarManager};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass};
+
+fn serve(config: QuasarConfig, cost_limit: Option<f64>, history: &HistorySet) -> (f64, u32) {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(history.clone(), config);
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xE57);
+    let mut service = generator.service(
+        WorkloadClass::Webserver,
+        "api-tier",
+        6.0,
+        LoadPattern::Fluctuating {
+            base_qps: 200_000.0,
+            amplitude_qps: 150_000.0,
+            period_s: 1_800.0,
+        },
+        Priority::Guaranteed,
+    );
+    if let Some(limit) = cost_limit {
+        service = service.with_cost_limit(limit);
+    }
+    sim.submit_at(service, 0.0);
+    sim.run_until(3_600.0);
+    let record = &sim.world().qos_records()[0];
+    (record.served_fraction(), record.peak_cores)
+}
+
+fn main() {
+    let catalog = PlatformCatalog::local();
+    println!("bootstrapping offline history...");
+    let history = HistorySet::bootstrap(&catalog, 16, 0xE57);
+
+    // --- Cost targets (§4.4): "a user could also specify a cost
+    //     constraint ... a limit for resource allocation". ---
+    let (served, cores) = serve(QuasarConfig::default(), None, &history);
+    println!("unconstrained:    served {:5.1}% with up to {cores} cores", served * 100.0);
+    let (served, cores) = serve(QuasarConfig::default(), Some(0.25), &history);
+    println!("capped at $0.25/h: served {:5.1}% with up to {cores} cores", served * 100.0);
+
+    // --- Predictive scaling (§4.1 future work). ---
+    let (reactive, _) = serve(QuasarConfig::default(), None, &history);
+    let (predictive, _) = serve(QuasarConfig::predictive(), None, &history);
+    println!(
+        "reactive scaling served {:5.1}%; predictive served {:5.1}%",
+        reactive * 100.0,
+        predictive * 100.0
+    );
+
+    // --- Resource partitioning (§4.4): enabled managers flip hardware
+    //     isolation on when interference dominates. ---
+    let partitioned = QuasarConfig {
+        resource_partitioning: true,
+        ..QuasarConfig::default()
+    };
+    let (served, _) = serve(partitioned, None, &history);
+    println!("with partitioning available: served {:5.1}%", served * 100.0);
+
+    // --- Fault tolerance (§4.4): master-slave mirroring. ---
+    let manager = QuasarManager::with_history(history.clone(), QuasarConfig::default());
+    let snapshot = manager.snapshot();
+    println!(
+        "manager snapshot: {} workloads, ~{} bytes of replicated state",
+        snapshot.workload_count(),
+        snapshot.approx_bytes()
+    );
+    let _standby = QuasarManager::restore(history, QuasarConfig::default(), &snapshot);
+    println!("hot-standby restored and ready for failover");
+}

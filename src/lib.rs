@@ -1,0 +1,27 @@
+//! Facade crate for the Quasar (ASPLOS'14) reproduction: resource-
+//! efficient and QoS-aware cluster management.
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`core`] — the Quasar manager (profiling, CF classification, greedy
+//!   joint allocation/assignment, monitoring/adaptation).
+//! * [`cluster`] — the discrete-event cluster simulator substrate.
+//! * [`workloads`] — platform catalogs, datasets, ground-truth workload
+//!   performance models, and scenario generators.
+//! * [`cf`] — the collaborative-filtering engine (SVD + PQ/SGD).
+//! * [`interference`] — shared-resource contention modeling.
+//! * [`baselines`] — reservation + least-loaded / Paragon / autoscale
+//!   managers the paper compares against.
+//! * [`experiments`] — drivers regenerating every table and figure.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use quasar_baselines as baselines;
+pub use quasar_cf as cf;
+pub use quasar_cluster as cluster;
+pub use quasar_core as core;
+pub use quasar_experiments as experiments;
+pub use quasar_interference as interference;
+pub use quasar_workloads as workloads;

@@ -1,0 +1,193 @@
+//! Integration tests for the adaptation machinery (§4.1) and the
+//! baseline managers, spanning cluster + core + baselines.
+
+use quasar::baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager, UserErrorModel};
+use quasar::cluster::{ClusterSpec, JobState, PhaseChange, SimConfig, Simulation};
+use quasar::core::{HistorySet, QuasarConfig, QuasarManager};
+use quasar::interference::{InterferenceProfile, PressureVector};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::{Dataset, LoadPattern, PlatformCatalog, Priority, WorkloadClass};
+
+fn shared_history() -> HistorySet {
+    use std::sync::OnceLock;
+    static H: OnceLock<HistorySet> = OnceLock::new();
+    H.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 12, 0xADA7))
+        .clone()
+}
+
+#[test]
+fn phase_change_triggers_reaction() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let stats = manager.stats_handle();
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 3),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xA1);
+    let job = generator.analytics_job(
+        WorkloadClass::Spark,
+        "phasey",
+        Dataset::new("d", 12.0, 1.0),
+        2,
+        6_000.0,
+        Priority::Guaranteed,
+    );
+    let id = job.id();
+    sim.submit_at(job, 0.0);
+    // Halve the job's intrinsic rate mid-flight.
+    sim.schedule_phase_change(id, 900.0, PhaseChange::RateFactor(0.5));
+    sim.run_until(880.0);
+    let before = stats.borrow().adaptations;
+    sim.run_until(2_400.0);
+    let after = stats.borrow().adaptations;
+    assert!(
+        after > before,
+        "the manager must adapt after the phase change ({before} -> {after})"
+    );
+}
+
+#[test]
+fn interference_phase_change_is_detectable() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 3),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xA2);
+    let job = generator.analytics_job(
+        WorkloadClass::Hadoop,
+        "toxic",
+        Dataset::new("d", 8.0, 1.0),
+        2,
+        6_000.0,
+        Priority::Guaranteed,
+    );
+    let id = job.id();
+    sim.submit_at(job, 0.0);
+    // The workload becomes fragile and noisy mid-run.
+    sim.schedule_phase_change(
+        id,
+        600.0,
+        PhaseChange::Interference(InterferenceProfile::new(
+            PressureVector::uniform(10.0),
+            PressureVector::uniform(60.0),
+        )),
+    );
+    sim.run_until(700.0);
+    // The world's probe API reflects the new profile in place.
+    let measured = sim
+        .world_mut()
+        .probe_sensitivity(id, quasar::interference::SharedResource::Cpu, 0.05)
+        .value;
+    assert!(
+        measured < 25.0,
+        "post-change tolerance must be visible to probes: {measured:.0}"
+    );
+}
+
+#[test]
+fn autoscaler_follows_load_both_ways() {
+    let catalog = PlatformCatalog::local();
+    let manager = BaselineManager::new(
+        AllocationPolicy::Autoscale { min: 1, max: 12 },
+        AssignmentPolicy::LeastLoaded,
+        None,
+        5,
+    );
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xA3);
+    let service = generator.service(
+        WorkloadClass::Memcached,
+        "wave",
+        16.0,
+        LoadPattern::Fluctuating {
+            base_qps: 250_000.0,
+            amplitude_qps: 200_000.0,
+            period_s: 3_600.0,
+        },
+        Priority::Guaranteed,
+    );
+    let id = service.id();
+    sim.submit_at(service, 0.0);
+
+    let mut node_counts = Vec::new();
+    let mut t = 0.0;
+    while t < 5_400.0 {
+        t += 300.0;
+        sim.run_until(t);
+        node_counts.push(sim.world().placement(id).map(|p| p.node_count()).unwrap_or(0));
+    }
+    let max = *node_counts.iter().max().unwrap();
+    let min_after_peak = *node_counts.iter().skip(node_counts.len() / 2).min().unwrap();
+    assert!(max > 1, "autoscaler must grow under load: {node_counts:?}");
+    assert!(
+        min_after_peak < max,
+        "autoscaler must shrink when load falls: {node_counts:?}"
+    );
+}
+
+#[test]
+fn reservation_paragon_places_and_completes() {
+    let catalog = PlatformCatalog::local();
+    let manager = BaselineManager::new(
+        AllocationPolicy::Reservation(UserErrorModel::exact()),
+        AssignmentPolicy::Paragon,
+        Some(shared_history()),
+        7,
+    );
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xA4);
+    let job = generator.analytics_job(
+        WorkloadClass::Hadoop,
+        "paragon-job",
+        Dataset::new("d", 10.0, 1.0),
+        2,
+        1_800.0,
+        Priority::Guaranteed,
+    );
+    let id = job.id();
+    sim.submit_at(job, 0.0);
+    sim.run_until(30_000.0);
+    assert_eq!(sim.world().state(id), JobState::Completed);
+}
+
+#[test]
+fn reservations_show_up_in_metrics() {
+    let catalog = PlatformCatalog::local();
+    let manager = BaselineManager::new(
+        AllocationPolicy::Reservation(UserErrorModel::paper()),
+        AssignmentPolicy::LeastLoaded,
+        None,
+        9,
+    );
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 2),
+        Box::new(manager),
+        SimConfig {
+            metrics_interval_s: 30.0,
+            ..SimConfig::default()
+        },
+    );
+    let mut generator = Generator::new(catalog, 0xA5);
+    for (i, job) in generator.best_effort_fill(10).into_iter().enumerate() {
+        sim.submit_at(job, i as f64 * 5.0);
+    }
+    sim.run_until(600.0);
+    let samples = sim.world().metrics().samples();
+    assert!(
+        samples.iter().any(|s| s.reserved_cpu > 0.0),
+        "reservation accounting must reach the metrics"
+    );
+}

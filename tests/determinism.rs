@@ -1,0 +1,68 @@
+//! Reproducibility: identical seeds must produce identical results, both
+//! for workload generation and for whole simulations — the property every
+//! number in EXPERIMENTS.md relies on.
+
+use quasar::cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar::core::{HistorySet, QuasarConfig, QuasarManager};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::PlatformCatalog;
+
+fn shared_history() -> HistorySet {
+    use std::sync::OnceLock;
+    static H: OnceLock<HistorySet> = OnceLock::new();
+    H.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 10, 0xDE7))
+        .clone()
+}
+
+#[test]
+fn generators_are_deterministic() {
+    let a = Generator::new(PlatformCatalog::local(), 99).mixed_fleet(30);
+    let b = Generator::new(PlatformCatalog::local(), 99).mixed_fleet(30);
+    assert_eq!(a, b);
+    let c = Generator::new(PlatformCatalog::local(), 100).mixed_fleet(30);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn histories_are_deterministic() {
+    let a = HistorySet::bootstrap(&PlatformCatalog::local(), 4, 7);
+    let b = HistorySet::bootstrap(&PlatformCatalog::local(), 4, 7);
+    for kind in quasar::core::GoalKind::ALL {
+        assert_eq!(
+            a.kind(kind).scale_up.as_slice(),
+            b.kind(kind).scale_up.as_slice(),
+            "{kind:?} scale-up history must be identical"
+        );
+        assert_eq!(
+            a.kind(kind).tolerated.as_slice(),
+            b.kind(kind).tolerated.as_slice()
+        );
+    }
+}
+
+#[test]
+fn whole_simulations_are_deterministic() {
+    let run = || -> Vec<(u64, Option<u64>)> {
+        let catalog = PlatformCatalog::local();
+        let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 2),
+            Box::new(manager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog, 0xD11);
+        for (i, w) in generator.mixed_fleet(12).into_iter().enumerate() {
+            sim.submit_at(w, i as f64 * 3.0);
+        }
+        sim.run_until(3_000.0);
+        sim.world()
+            .completions()
+            .into_iter()
+            .map(|r| (r.id.0, r.finished_s.map(|f| (f * 1e6) as u64)))
+            .collect()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seeds must give identical timelines");
+    assert!(!first.is_empty());
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration tests spanning every crate: workload physics →
+//! simulator → profiling/classification → greedy scheduling → monitoring.
+
+use quasar::baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager, UserErrorModel};
+use quasar::cluster::{ClusterSpec, JobState, SimConfig, Simulation};
+use quasar::core::{HistorySet, QuasarConfig, QuasarManager};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::{
+    Dataset, LoadPattern, PlatformCatalog, Priority, QosTarget, WorkloadClass,
+};
+
+fn shared_history() -> HistorySet {
+    use std::sync::OnceLock;
+    static H: OnceLock<HistorySet> = OnceLock::new();
+    H.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 12, 0x17E57))
+        .clone()
+}
+
+#[test]
+fn quasar_meets_an_isolated_batch_target() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xE2E1);
+    let job = generator.analytics_job(
+        WorkloadClass::Hadoop,
+        "solo",
+        Dataset::new("d", 15.0, 1.0),
+        4,
+        2_400.0,
+        Priority::Guaranteed,
+    );
+    let id = job.id();
+    let QosTarget::CompletionTime { seconds: target } = job.spec().target else {
+        unreachable!()
+    };
+    sim.submit_at(job, 0.0);
+    sim.run_until(target * 4.0);
+    assert_eq!(sim.world().state(id), JobState::Completed);
+    let exec = sim.world().completions()[0].execution_s().unwrap();
+    assert!(
+        exec < target * 1.35,
+        "isolated job must land near its target: {exec:.0}s vs {target:.0}s"
+    );
+}
+
+#[test]
+fn quasar_beats_reservation_ll_on_a_shared_trace() {
+    let catalog = PlatformCatalog::local();
+    let trace = |manager: Box<dyn quasar::cluster::Manager>| -> f64 {
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 4),
+            manager,
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog.clone(), 0xE2E2);
+        let jobs = generator.batch_mix(3, 1, 1);
+        let ids: Vec<_> = jobs.iter().map(|j| (j.id(), j.spec().target)).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            sim.submit_at(job, i as f64 * 5.0);
+        }
+        sim.run_until(30_000.0);
+        // Mean normalized performance across the analytics jobs.
+        let completions = sim.world().completions();
+        let mut total = 0.0;
+        for (id, target) in &ids {
+            let QosTarget::CompletionTime { seconds } = target else {
+                unreachable!()
+            };
+            let score = completions
+                .iter()
+                .find(|r| r.id == *id)
+                .and_then(|r| r.execution_s())
+                .map(|e| (seconds / e).min(1.0))
+                .unwrap_or(0.0);
+            total += score;
+        }
+        total / ids.len() as f64
+    };
+
+    let baseline = trace(Box::new(BaselineManager::new(
+        AllocationPolicy::Reservation(UserErrorModel::paper()),
+        AssignmentPolicy::LeastLoaded,
+        None,
+        3,
+    )));
+    let quasar = trace(Box::new(QuasarManager::with_history(
+        shared_history(),
+        QuasarConfig::default(),
+    )));
+    assert!(
+        quasar > baseline,
+        "quasar {quasar:.2} must beat reservation+ll {baseline:.2}"
+    );
+}
+
+#[test]
+fn service_survives_a_load_spike_with_adaptation() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let stats = manager.stats_handle();
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xE2E3);
+    let service = generator.service(
+        WorkloadClass::Memcached,
+        "spiky",
+        24.0,
+        LoadPattern::Spike {
+            base_qps: 80_000.0,
+            spike_qps: 320_000.0,
+            start_s: 2_000.0,
+            duration_s: 1_000.0,
+        },
+        Priority::Guaranteed,
+    );
+    let id = service.id();
+    sim.submit_at(service, 0.0);
+    sim.run_until(5_000.0);
+
+    assert_eq!(sim.world().state(id), JobState::Running);
+    let record = &sim.world().qos_records()[0];
+    assert!(
+        record.served_fraction() > 0.85,
+        "served {:.2} of offered load through the spike",
+        record.served_fraction()
+    );
+    assert!(
+        stats.borrow().adaptations > 0,
+        "the spike must trigger allocation adjustments"
+    );
+}
+
+#[test]
+fn best_effort_yields_to_guaranteed_work() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let stats = manager.stats_handle();
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 1),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xE2E4);
+    // Saturate the (small) cluster with long best-effort jobs first.
+    for (i, job) in generator.best_effort_fill(60).into_iter().enumerate() {
+        sim.submit_at(job, i as f64 * 0.5);
+    }
+    // Then a guaranteed service that needs most of the capacity.
+    let service = generator.service(
+        WorkloadClass::Webserver,
+        "prio",
+        4.0,
+        LoadPattern::Flat { qps: 250_000.0 },
+        Priority::Guaranteed,
+    );
+    let id = service.id();
+    sim.submit_at(service, 120.0);
+    sim.run_until(2_400.0);
+
+    assert_eq!(sim.world().state(id), JobState::Running);
+    let record = &sim.world().qos_records()[0];
+    assert!(
+        record.served_fraction() > 0.7,
+        "guaranteed service must get capacity: served {:.2}",
+        record.served_fraction()
+    );
+    assert!(
+        stats.borrow().evictions > 0,
+        "making room must evict best-effort fill"
+    );
+}

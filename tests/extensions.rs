@@ -1,0 +1,235 @@
+//! Integration tests for the §4.4 extensions: cost targets, predictive
+//! scaling, and manager failover.
+
+use quasar::cluster::{ClusterSpec, Observation, SimConfig, Simulation};
+use quasar::core::{HistorySet, QuasarConfig, QuasarManager};
+use quasar::workloads::generate::Generator;
+use quasar::workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass};
+
+fn shared_history() -> HistorySet {
+    use std::sync::OnceLock;
+    static H: OnceLock<HistorySet> = OnceLock::new();
+    H.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 12, 0xE47))
+        .clone()
+}
+
+/// Runs one webserver under the given config; returns (served fraction,
+/// peak cores held, total hourly price of the final placement).
+fn run_service(
+    config: QuasarConfig,
+    load: LoadPattern,
+    cost_limit: Option<f64>,
+    horizon: f64,
+) -> (f64, u32, f64) {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), config);
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 4),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog.clone(), 0xE48);
+    let mut service = generator.service(
+        WorkloadClass::Webserver,
+        "svc",
+        6.0,
+        load,
+        Priority::Guaranteed,
+    );
+    if let Some(limit) = cost_limit {
+        service = service.with_cost_limit(limit);
+    }
+    let id = service.id();
+    sim.submit_at(service, 0.0);
+    sim.run_until(horizon);
+
+    let record = &sim.world().qos_records()[0];
+    let price: f64 = sim
+        .world()
+        .placement(id)
+        .map(|p| {
+            p.nodes
+                .iter()
+                .map(|n| {
+                    let platform = sim.world().platform_of(n.server);
+                    platform.price_per_hour()
+                        * (n.resources.cores as f64 / platform.cores as f64)
+                            .max(n.resources.memory_gb / platform.memory_gb)
+                })
+                .sum()
+        })
+        .unwrap_or(0.0);
+    (record.served_fraction(), record.peak_cores, price)
+}
+
+#[test]
+fn cost_limits_constrain_the_allocation() {
+    // A load that needs well over 0.15 $/h of servers to serve fully.
+    let load = LoadPattern::Flat { qps: 500_000.0 };
+    let (served_free, cores_free, _) = run_service(QuasarConfig::default(), load, None, 1_800.0);
+    let (served_capped, cores_capped, price) =
+        run_service(QuasarConfig::default(), load, Some(0.15), 1_800.0);
+    assert!(
+        cores_capped < cores_free,
+        "the cap must shrink the allocation: {cores_capped} vs {cores_free}"
+    );
+    assert!(
+        served_free > served_capped + 0.02,
+        "unconstrained must serve more: {served_free:.3} vs {served_capped:.3}"
+    );
+    assert!(
+        price <= 0.25,
+        "final placement cost {price:.3} must stay near the 0.15 cap"
+    );
+}
+
+#[test]
+fn predictive_scaling_provisions_ahead_of_a_ramp() {
+    // A steady ramp: reactive scaling waits for misses; predictive should
+    // hold capacity ahead of the offered load.
+    let load = LoadPattern::Fluctuating {
+        base_qps: 120_000.0,
+        amplitude_qps: 100_000.0,
+        period_s: 3_600.0,
+    };
+    let (served_reactive, _, _) = run_service(QuasarConfig::default(), load, None, 3_600.0);
+    let (served_predictive, _, _) = run_service(QuasarConfig::predictive(), load, None, 3_600.0);
+    assert!(
+        served_predictive >= served_reactive - 0.01,
+        "prediction must not hurt: {served_predictive:.3} vs {served_reactive:.3}"
+    );
+}
+
+#[test]
+fn failover_restores_classifications_and_queues() {
+    let catalog = PlatformCatalog::local();
+    let manager = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 2),
+        Box::new(manager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog, 0xE49);
+    let svc = generator.service(
+        WorkloadClass::Memcached,
+        "mc",
+        16.0,
+        LoadPattern::Flat { qps: 60_000.0 },
+        Priority::Guaranteed,
+    );
+    let id = svc.id();
+    sim.submit_at(svc, 0.0);
+    sim.run_until(600.0);
+
+    // The primary cannot be reached inside the simulation; in a real
+    // deployment the snapshot streams to the standby continuously. Here
+    // we validate snapshot → restore round-trips the replicable state.
+    let primary = QuasarManager::with_history(shared_history(), QuasarConfig::default());
+    let mut scratch = Simulation::new(
+        ClusterSpec::uniform(PlatformCatalog::local(), 2),
+        Box::new(quasar::cluster::managers::NullManager),
+        SimConfig::default(),
+    );
+    // Drive the primary's arrival handler directly against a scratch world.
+    let mut primary = primary;
+    let mut generator = Generator::new(PlatformCatalog::local(), 0xE49);
+    let svc2 = generator.service(
+        WorkloadClass::Memcached,
+        "mc",
+        16.0,
+        LoadPattern::Flat { qps: 60_000.0 },
+        Priority::Guaranteed,
+    );
+    let id2 = svc2.id();
+    scratch.submit_at(svc2, 0.0);
+    scratch.run_until(10.0);
+    quasar::cluster::Manager::on_arrival(&mut primary, scratch.world_mut(), id2);
+
+    let snapshot = primary.snapshot();
+    assert_eq!(snapshot.workload_count(), 1);
+    assert!(snapshot.approx_bytes() > 0);
+
+    let standby = QuasarManager::restore(shared_history(), QuasarConfig::default(), &snapshot);
+    let original = primary.classification(id2).expect("classified");
+    let restored = standby.classification(id2).expect("restored");
+    assert_eq!(original, restored, "classification must survive failover");
+
+    // The running simulation continues meanwhile.
+    sim.run_until(900.0);
+    assert!(matches!(
+        sim.world().observation(id),
+        Some(Observation::Service(_))
+    ));
+}
+
+#[test]
+fn isolation_pays_off_under_heavy_contention() {
+    use quasar::cluster::{managers::NullManager, NodeAlloc, ServerId};
+    use quasar::interference::PressureVector;
+    use quasar::workloads::{Dataset, FrameworkParams, NodeResources};
+
+    let catalog = PlatformCatalog::local();
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 1),
+        Box::new(NullManager),
+        SimConfig {
+            noise: 0.0,
+            ..SimConfig::default()
+        },
+    );
+    let mut generator = Generator::new(catalog, 0xE50);
+    let victim = generator.analytics_job(
+        WorkloadClass::Hadoop,
+        "victim",
+        Dataset::new("d", 6.0, 1.0),
+        1,
+        4_000.0,
+        Priority::Guaranteed,
+    );
+    let vid = victim.id();
+    sim.submit_at(victim, 0.0);
+    sim.run_until(10.0);
+
+    let sid = ServerId(
+        sim.world()
+            .servers()
+            .iter()
+            .max_by_key(|s| s.total_cores())
+            .unwrap()
+            .id()
+            .0,
+    );
+    sim.world_mut()
+        .place(
+            vid,
+            vec![NodeAlloc::immediate(sid, NodeResources::new(8, 16.0))],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+
+    let rate_of = |sim: &mut Simulation, until: f64| -> f64 {
+        sim.run_until(until);
+        match sim.world().observation(vid) {
+            Some(Observation::Batch { rate, .. }) => rate,
+            _ => panic!("victim must be running"),
+        }
+    };
+    let clean_rate = rate_of(&mut sim, 60.0);
+
+    // A sustained iBench-style bully saturates the shared resources.
+    sim.world_mut()
+        .inject_pressure(sid, PressureVector::uniform(85.0), 1_000_000.0);
+    let noisy_rate = rate_of(&mut sim, 120.0);
+    assert!(noisy_rate < clean_rate * 0.7, "the bully must hurt");
+
+    // Partitioning halves the incoming pressure at a small overhead; under
+    // heavy contention that trade is strongly positive.
+    sim.world_mut().set_isolation(vid, true).unwrap();
+    let isolated_rate = rate_of(&mut sim, 180.0);
+    assert!(
+        isolated_rate > noisy_rate * 1.1,
+        "isolation should pay off: {noisy_rate:.2} -> {isolated_rate:.2}"
+    );
+    // But it is not free: still below the uncontended rate.
+    assert!(isolated_rate < clean_rate);
+}
