@@ -127,7 +127,12 @@ impl BaselineManager {
     }
 
     /// Servers that fit `slice`, ordered by the assignment policy.
-    fn ordered_servers(&self, world: &World, id: WorkloadId, slice: NodeResources) -> Vec<ServerId> {
+    fn ordered_servers(
+        &self,
+        world: &World,
+        id: WorkloadId,
+        slice: NodeResources,
+    ) -> Vec<ServerId> {
         match self.assign {
             AssignmentPolicy::LeastLoaded => {
                 // True least-loaded: lowest committed fraction first.
@@ -139,7 +144,10 @@ impl BaselineManager {
                 let mut servers: Vec<&quasar_cluster::Server> = world
                     .servers()
                     .iter()
-                    .filter(|s| s.free_cores() >= slice.cores.min(s.total_cores()) && s.free_memory_gb() >= slice.memory_gb.min(s.total_memory_gb()))
+                    .filter(|s| {
+                        s.free_cores() >= slice.cores.min(s.total_cores())
+                            && s.free_memory_gb() >= slice.memory_gb.min(s.total_memory_gb())
+                    })
                     .collect();
                 servers.sort_by(|a, b| {
                     let shuffle = |s: &quasar_cluster::Server| {
@@ -149,8 +157,7 @@ impl BaselineManager {
                             >> 32
                     };
                     a.core_commit_fraction()
-                        .partial_cmp(&b.core_commit_fraction())
-                        .expect("fractions are finite")
+                        .total_cmp(&b.core_commit_fraction())
                         .then(shuffle(a).cmp(&shuffle(b)))
                 });
                 servers.into_iter().map(|s| s.id()).collect()

@@ -76,8 +76,10 @@ impl ParagonEngine {
         let anchor = axes.anchor();
 
         let ref_run = world.profile_config(id, &ProfileConfig::single(axes.ref_platform, anchor));
-        let other_run =
-            world.profile_config(id, &ProfileConfig::single(axes.platforms[other_idx], anchor));
+        let other_run = world.profile_config(
+            id,
+            &ProfileConfig::single(axes.platforms[other_idx], anchor),
+        );
 
         let mut tolerated = Vec::new();
         let mut caused = Vec::new();
@@ -94,10 +96,7 @@ impl ParagonEngine {
             params: vec![],
             tolerated,
             caused,
-            wall_seconds: class_kind.setup_seconds()
-                + ref_run.seconds
-                + other_run.seconds
-                + 8.0,
+            wall_seconds: class_kind.setup_seconds() + ref_run.seconds + other_run.seconds + 8.0,
             total_seconds: ref_run.seconds + other_run.seconds + 8.0,
         };
         let full = self.classifier.classify(&self.history, &data);
@@ -174,8 +173,7 @@ impl ParagonEngine {
                     let Some(tclass) = self.classes.get(&tenant) else {
                         continue;
                     };
-                    let tpressure =
-                        self.estimated_pressure(world, s.id(), Some(tenant)) + added;
+                    let tpressure = self.estimated_pressure(world, s.id(), Some(tenant)) + added;
                     let pen = penalty_for(&tclass.tolerated, &tpressure);
                     if pen < 0.95 {
                         victim_factor = victim_factor.min(pen.max(0.05));
@@ -190,7 +188,11 @@ impl ParagonEngine {
                 (s.id(), score)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        // A NaN score (corrupted estimate) must rank last, never first.
+        scored.sort_by(|a, b| {
+            quasar_core::ordering::desirability(b.1)
+                .total_cmp(&quasar_core::ordering::desirability(a.1))
+        });
         scored.into_iter().map(|(id, _)| id).collect()
     }
 }

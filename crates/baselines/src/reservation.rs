@@ -117,9 +117,7 @@ impl ReservationSizer {
     /// performance scales linearly with instance count.
     pub fn size(&mut self, world: &mut World, id: WorkloadId) -> SizedReservation {
         let spec = world.spec(id).clone();
-        if self.error_model == UserErrorModel::exact()
-            && spec.class.has_framework_params()
-        {
+        if self.error_model == UserErrorModel::exact() && spec.class.has_framework_params() {
             let nodes = quasar_workloads::hadoop_wave_nodes(spec.dataset.size_gb());
             return SizedReservation {
                 nodes,
@@ -130,10 +128,7 @@ impl ReservationSizer {
         let catalog = world.catalog();
         let platform_count = catalog.len();
         let pick = self.rng.random_range(0..platform_count);
-        let platform = catalog
-            .iter()
-            .nth(pick)
-            .expect("index in range");
+        let platform = catalog.iter().nth(pick).expect("index in range");
         let slice = NodeResources::new(
             SLICE_CORES.min(platform.cores),
             SLICE_MEMORY_GB.min(platform.memory_gb),

@@ -49,7 +49,10 @@ fn reconstruction_vs_column_mean(c: &mut Criterion) {
     });
     let history = DenseMatrix::from_fn(19, 40, |r, cc| truth.get(r, cc));
     let target_row = 19;
-    let observed = [(3usize, truth.get(target_row, 3)), (27, truth.get(target_row, 27))];
+    let observed = [
+        (3usize, truth.get(target_row, 3)),
+        (27, truth.get(target_row, 27)),
+    ];
 
     c.bench_function("ablation_cf_vs_column_mean", |b| {
         b.iter(|| {
@@ -108,8 +111,7 @@ fn reactive_vs_predictive(c: &mut Criterion) {
 fn cost_budget(c: &mut Criterion) {
     let run = |limit: Option<f64>| -> (f64, u32) {
         let catalog = PlatformCatalog::local();
-        let manager =
-            QuasarManager::with_history(local_history().clone(), QuasarConfig::default());
+        let manager = QuasarManager::with_history(local_history().clone(), QuasarConfig::default());
         let mut sim = Simulation::new(
             ClusterSpec::uniform(catalog.clone(), 4),
             Box::new(manager),

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use quasar_experiments::{adaptation, fig1, fig11, fig2, fig3, fig5, fig67, fig8, fig910, table2, Scale};
+use quasar_experiments::{
+    adaptation, fig1, fig11, fig2, fig3, fig5, fig67, fig8, fig910, table2, Scale,
+};
 
 fn bench_config() -> Criterion {
     Criterion::default().sample_size(10)

@@ -81,6 +81,45 @@ fn profile_and_classify(c: &mut Criterion) {
     });
 }
 
+fn classification_parallelism(c: &mut Criterion) {
+    // The tentpole comparison: one full four-way classification, serial
+    // vs fanned out over the deterministic worker pool. Profiling is done
+    // once outside the loop so the benchmark isolates the CF math.
+    let history = local_history();
+    let axes = history.axes().clone();
+    let catalog = PlatformCatalog::local();
+    let mut sim = Simulation::new(
+        ClusterSpec::uniform(catalog.clone(), 1),
+        Box::new(NullManager),
+        SimConfig::default(),
+    );
+    let mut generator = Generator::new(catalog.clone(), 77);
+    let job = generator.analytics_job(
+        WorkloadClass::Hadoop,
+        "bench",
+        Dataset::new("d", 20.0, 1.0),
+        2,
+        1_800.0,
+        Priority::Guaranteed,
+    );
+    let id = job.id();
+    sim.submit_at(job, 0.0);
+    sim.run_until(5.0);
+    let mut profiler = Profiler::new(2, 1);
+    let data = profiler.profile(sim.world_mut(), &axes, id);
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("classify_hadoop_threads_{threads}"), |b| {
+            // A fresh classifier per iteration: its row cache starts cold,
+            // so the benchmark measures the CF math rather than memo hits.
+            b.iter_batched(
+                || Classifier::new().with_threads(threads),
+                |classifier| black_box(classifier.classify(history, &data)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
 fn greedy_planning(c: &mut Criterion) {
     use quasar_core::greedy::CandidateServer;
     let history = local_history();
@@ -94,7 +133,9 @@ fn greedy_planning(c: &mut Criterion) {
             .map(|r| r.cores as f64 * 1_000.0)
             .collect(),
         scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64 * 2_000.0).collect()),
-        hetero_speed: (0..axes.platforms.len()).map(|i| 1.0 + i as f64 * 0.1).collect(),
+        hetero_speed: (0..axes.platforms.len())
+            .map(|i| 1.0 + i as f64 * 0.1)
+            .collect(),
         params_speed: None,
         tolerated: PressureVector::uniform(50.0),
         caused: PressureVector::uniform(15.0),
@@ -149,6 +190,6 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
     targets = svd_of_history_sized_matrix, pq_reconstruction, profile_and_classify,
-        greedy_planning, simulation_tick
+        classification_parallelism, greedy_planning, simulation_tick
 }
 criterion_main!(micro);

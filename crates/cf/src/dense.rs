@@ -52,7 +52,11 @@ impl DenseMatrix {
     }
 
     /// Creates a matrix by evaluating `f(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> DenseMatrix {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> DenseMatrix {
         let mut m = DenseMatrix::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {

@@ -129,7 +129,11 @@ impl PqModel {
         let mut col_factors = DenseMatrix::zeros(a.cols(), rank);
         for c in 0..a.cols() {
             for k in 0..rank {
-                col_factors.set(c, k, decomposition.v.get(c, k) * decomposition.singular_values[k]);
+                col_factors.set(
+                    c,
+                    k,
+                    decomposition.v.get(c, k) * decomposition.singular_values[k],
+                );
             }
         }
 
@@ -230,7 +234,12 @@ mod tests {
 
     /// Build a sparse view of a low-rank matrix, keeping `keep` of every
     /// `out_of` cells.
-    fn low_rank_sparse(rows: usize, cols: usize, keep: usize, out_of: usize) -> (SparseMatrix, DenseMatrix) {
+    fn low_rank_sparse(
+        rows: usize,
+        cols: usize,
+        keep: usize,
+        out_of: usize,
+    ) -> (SparseMatrix, DenseMatrix) {
         let truth = DenseMatrix::from_fn(rows, cols, |r, c| {
             3.0 + (r as f64 + 1.0) * 0.7 * (c as f64 + 1.0) + (r as f64) * 0.5
         });

@@ -1,11 +1,65 @@
 //! The end-to-end reconstruction pipeline used by Quasar's classifier.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::dense::DenseMatrix;
 use crate::pq::{PqModel, SgdConfig};
 use crate::sparse::SparseMatrix;
+
+/// Entries kept in the row-reconstruction memo before it is cleared.
+/// Experiments reuse a handful of history matrices across thousands of
+/// workloads, so a small bound captures nearly all the reuse.
+const ROW_CACHE_CAP: usize = 1024;
+
+/// 128-bit FNV-1a-style fingerprint, fed 64-bit words. Two independent
+/// 64-bit streams keep the collision probability negligible for cache
+/// keys (a collision would silently return the wrong row, so 64 bits
+/// alone would be uncomfortable at millions of lookups).
+#[derive(Clone, Copy)]
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Fingerprint {
+        Fingerprint {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_0193);
+        }
+    }
+
+    fn float(&mut self, x: f64) {
+        self.word(x.to_bits());
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Shared memo for [`Reconstructor::reconstruct_row`]. Reconstruction
+/// is a pure function of `(history, target, config)`, so returning a
+/// cached row is observably identical to recomputing it — including
+/// every bit of every float — which is what lets the cache stay enabled
+/// under the deterministic parallel runner.
+#[derive(Debug, Default)]
+struct RowCache {
+    map: Mutex<HashMap<u128, Vec<f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// Error returned when a sparse matrix cannot be reconstructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +112,7 @@ impl Error for ReconstructError {}
 pub struct Reconstructor {
     config: SgdConfig,
     clamp_to_observed: bool,
+    row_cache: Arc<RowCache>,
 }
 
 impl Reconstructor {
@@ -67,6 +122,7 @@ impl Reconstructor {
         Reconstructor {
             config: SgdConfig::default(),
             clamp_to_observed: true,
+            row_cache: Arc::default(),
         }
     }
 
@@ -148,6 +204,68 @@ impl Reconstructor {
         if history.rows() == 0 {
             return Err(ReconstructError::Unanchored);
         }
+        let key = self.row_key(history, target);
+        if let Some(row) = self
+            .row_cache
+            .map
+            .lock()
+            .expect("row cache poisoned")
+            .get(&key)
+        {
+            self.row_cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(row.clone());
+        }
+        self.row_cache.misses.fetch_add(1, Ordering::Relaxed);
+        let row = self.reconstruct_row_uncached(history, target)?;
+        let mut map = self.row_cache.map.lock().expect("row cache poisoned");
+        if map.len() >= ROW_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, row.clone());
+        Ok(row)
+    }
+
+    /// Cache hits and misses of the row memo, for benchmarks and tests.
+    pub fn row_cache_stats(&self) -> (u64, u64) {
+        (
+            self.row_cache.hits.load(Ordering::Relaxed),
+            self.row_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fingerprints everything `reconstruct_row` depends on: matrix
+    /// shape and contents, the sparse target (its density and values),
+    /// the SGD hyper-parameters, and the clamping flag.
+    fn row_key(&self, history: &DenseMatrix, target: &[(usize, f64)]) -> u128 {
+        let mut fp = Fingerprint::new();
+        fp.word(history.rows() as u64);
+        fp.word(history.cols() as u64);
+        for r in 0..history.rows() {
+            for c in 0..history.cols() {
+                fp.float(history.get(r, c));
+            }
+        }
+        fp.word(target.len() as u64);
+        for &(c, v) in target {
+            fp.word(c as u64);
+            fp.float(v);
+        }
+        fp.float(self.config.learning_rate);
+        fp.float(self.config.regularization);
+        fp.word(self.config.max_epochs as u64);
+        fp.float(self.config.tolerance);
+        fp.float(self.config.energy);
+        fp.word(self.config.max_rank as u64);
+        fp.word(self.config.seed);
+        fp.word(u64::from(self.clamp_to_observed));
+        fp.finish()
+    }
+
+    fn reconstruct_row_uncached(
+        &self,
+        history: &DenseMatrix,
+        target: &[(usize, f64)],
+    ) -> Result<Vec<f64>, ReconstructError> {
         let cols = history.cols();
         let mut sparse = SparseMatrix::new(history.rows() + 1, cols);
         for r in 0..history.rows() {
@@ -236,6 +354,41 @@ mod tests {
             Reconstructor::new().reconstruct_row(&history, &[]),
             Err(ReconstructError::Empty)
         );
+    }
+
+    #[test]
+    fn row_cache_returns_identical_bits_and_counts_hits() {
+        let history = DenseMatrix::from_fn(6, 5, |r, c| (r as f64 + 1.5) * (c as f64 + 0.5));
+        let rec = Reconstructor::new();
+        let target = [(0usize, 1.2), (3usize, 4.8)];
+        let first = rec.reconstruct_row(&history, &target).unwrap();
+        let second = rec.reconstruct_row(&history, &target).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&first), bits(&second));
+        let (hits, misses) = rec.row_cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+
+        // A different density (extra observation) is a different key.
+        rec.reconstruct_row(&history, &[(0, 1.2), (3, 4.8), (4, 6.0)])
+            .unwrap();
+        let (hits, misses) = rec.row_cache_stats();
+        assert_eq!((hits, misses), (1, 2));
+    }
+
+    #[test]
+    fn row_cache_distinguishes_matrix_contents() {
+        let a = DenseMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let mut b = a.clone();
+        b.set(2, 2, 99.0);
+        let rec = Reconstructor::new();
+        let ra = rec.reconstruct_row(&a, &[(0, 1.0)]).unwrap();
+        let rb = rec.reconstruct_row(&b, &[(0, 1.0)]).unwrap();
+        assert_eq!(
+            rec.row_cache_stats().1,
+            2,
+            "different matrices must both miss"
+        );
+        assert_ne!(ra, rb);
     }
 
     #[test]

@@ -137,9 +137,8 @@ impl SparseMatrix {
     pub fn to_dense_filled(&self) -> DenseMatrix {
         let global = self.mean().unwrap_or(0.0);
         let col_means = self.col_means();
-        let mut dense = DenseMatrix::from_fn(self.rows, self.cols, |_, c| {
-            col_means[c].unwrap_or(global)
-        });
+        let mut dense =
+            DenseMatrix::from_fn(self.rows, self.cols, |_, c| col_means[c].unwrap_or(global));
         for (r, c, v) in self.iter() {
             dense.set(r, c, v);
         }

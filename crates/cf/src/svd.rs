@@ -137,7 +137,7 @@ pub fn svd(a: &DenseMatrix) -> Svd {
     let norms: Vec<f64> = (0..n)
         .map(|c| (0..m).map(|i| work.get(i, c).powi(2)).sum::<f64>().sqrt())
         .collect();
-    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).expect("norms are finite"));
+    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
 
     let mut u = DenseMatrix::zeros(m, n);
     let mut v_sorted = DenseMatrix::zeros(n, n);
@@ -146,7 +146,11 @@ pub fn svd(a: &DenseMatrix) -> Svd {
         let norm = norms[c];
         singular_values.push(norm);
         for i in 0..m {
-            let val = if norm > 0.0 { work.get(i, c) / norm } else { 0.0 };
+            let val = if norm > 0.0 {
+                work.get(i, c) / norm
+            } else {
+                0.0
+            };
             u.set(i, k, val);
         }
         for i in 0..n {
@@ -228,10 +232,7 @@ mod tests {
             for q in p..d.u.cols() {
                 let dot: f64 = (0..d.u.rows()).map(|i| d.u.get(i, p) * d.u.get(i, q)).sum();
                 let expect = if p == q { 1.0 } else { 0.0 };
-                assert!(
-                    (dot - expect).abs() < 1e-8,
-                    "u columns {p},{q}: dot={dot}"
-                );
+                assert!((dot - expect).abs() < 1e-8, "u columns {p},{q}: dot={dot}");
             }
         }
     }

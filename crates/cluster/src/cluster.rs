@@ -232,10 +232,7 @@ impl ClusterState {
     /// Fails if the workload is not placed, already has a slice on that
     /// server, or the server lacks capacity.
     pub fn add_node(&mut self, id: WorkloadId, node: NodeAlloc) -> Result<(), PlaceError> {
-        let placement = self
-            .placements
-            .get(&id)
-            .ok_or(PlaceError::NotPlaced(id))?;
+        let placement = self.placements.get(&id).ok_or(PlaceError::NotPlaced(id))?;
         if placement.node_on(node.server).is_some() {
             return Err(PlaceError::DuplicateServer(node.server));
         }
@@ -295,10 +292,7 @@ impl ClusterState {
         server: ServerId,
         resources: NodeResources,
     ) -> Result<(), PlaceError> {
-        let placement = self
-            .placements
-            .get(&id)
-            .ok_or(PlaceError::NotPlaced(id))?;
+        let placement = self.placements.get(&id).ok_or(PlaceError::NotPlaced(id))?;
         let old = placement
             .node_on(server)
             .ok_or(PlaceError::NoSuchServer(server))?

@@ -239,9 +239,12 @@ mod tests {
     fn records_in_order() {
         let mut j = Journal::new(8);
         j.record(1.0, placed(1));
-        j.record(2.0, JournalEvent::Completed {
-            workload: WorkloadId(1),
-        });
+        j.record(
+            2.0,
+            JournalEvent::Completed {
+                workload: WorkloadId(1),
+            },
+        );
         let times: Vec<f64> = j.iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![1.0, 2.0]);
     }
@@ -263,10 +266,13 @@ mod tests {
         let mut j = Journal::new(8);
         j.record(1.0, placed(1));
         j.record(2.0, placed(2));
-        j.record(3.0, JournalEvent::Evicted {
-            workload: WorkloadId(1),
-            requeued: false,
-        });
+        j.record(
+            3.0,
+            JournalEvent::Evicted {
+                workload: WorkloadId(1),
+                requeued: false,
+            },
+        );
         assert_eq!(j.for_workload(WorkloadId(1)).len(), 2);
         assert_eq!(j.for_workload(WorkloadId(2)).len(), 1);
         assert_eq!(j.for_workload(WorkloadId(9)).len(), 0);
@@ -276,20 +282,31 @@ mod tests {
     fn every_event_renders_nonempty() {
         let events = [
             placed(1),
-            JournalEvent::Evicted { workload: WorkloadId(1), requeued: true },
+            JournalEvent::Evicted {
+                workload: WorkloadId(1),
+                requeued: true,
+            },
             JournalEvent::NodeAdded {
                 workload: WorkloadId(1),
                 server: ServerId(2),
                 resources: NodeResources::new(4, 8.0),
             },
-            JournalEvent::NodeRemoved { workload: WorkloadId(1), server: ServerId(2) },
+            JournalEvent::NodeRemoved {
+                workload: WorkloadId(1),
+                server: ServerId(2),
+            },
             JournalEvent::NodeResized {
                 workload: WorkloadId(1),
                 server: ServerId(2),
                 resources: NodeResources::new(8, 16.0),
             },
-            JournalEvent::IsolationSet { workload: WorkloadId(1), isolated: true },
-            JournalEvent::Completed { workload: WorkloadId(1) },
+            JournalEvent::IsolationSet {
+                workload: WorkloadId(1),
+                isolated: true,
+            },
+            JournalEvent::Completed {
+                workload: WorkloadId(1),
+            },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());

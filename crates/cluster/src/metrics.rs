@@ -118,8 +118,18 @@ impl MetricsRecorder {
         }
         let n = self.samples.len() as f64;
         UtilizationSummary {
-            mean_cpu: self.samples.iter().map(HeatmapSample::mean_cpu).sum::<f64>() / n,
-            mean_memory: self.samples.iter().map(HeatmapSample::mean_memory).sum::<f64>() / n,
+            mean_cpu: self
+                .samples
+                .iter()
+                .map(HeatmapSample::mean_cpu)
+                .sum::<f64>()
+                / n,
+            mean_memory: self
+                .samples
+                .iter()
+                .map(HeatmapSample::mean_memory)
+                .sum::<f64>()
+                / n,
             mean_allocated_cpu: self.samples.iter().map(|s| s.allocated_cpu).sum::<f64>() / n,
             mean_reserved_cpu: self.samples.iter().map(|s| s.reserved_cpu).sum::<f64>() / n,
         }

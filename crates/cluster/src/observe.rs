@@ -38,10 +38,9 @@ impl Observation {
             // IPS targets are floors: a job is on track only while its
             // measured rate stays at or above the floor (the slack covers
             // the deadline form, where a small overshoot is tolerable).
-            (
-                Observation::Batch { rate, .. },
-                quasar_workloads::QosTarget::Ips { ips },
-            ) => *rate >= *ips,
+            (Observation::Batch { rate, .. }, quasar_workloads::QosTarget::Ips { ips }) => {
+                *rate >= *ips
+            }
             (Observation::Service(obs), t @ quasar_workloads::QosTarget::Throughput { .. }) => {
                 obs.meets(t)
             }

@@ -72,11 +72,14 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by time (then sequence for stability).
+        // Min-heap by time (then sequence for stability). total_cmp keeps
+        // the heap invariant even if a non-finite timestamp slips through
+        // a release build (NaN sorts deterministically instead of
+        // panicking mid-pop or corrupting the ordering); insertion
+        // rejects such timestamps in debug builds.
         other
             .time_s
-            .partial_cmp(&self.time_s)
-            .expect("event times are finite")
+            .total_cmp(&self.time_s)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -137,6 +140,10 @@ impl Simulation {
     }
 
     fn push(&mut self, time_s: f64, kind: EventKind) {
+        debug_assert!(
+            time_s.is_finite(),
+            "event scheduled at non-finite time {time_s}"
+        );
         self.events.push(Event {
             time_s,
             seq: self.next_seq,
@@ -186,9 +193,7 @@ impl Simulation {
                     }
                     EventKind::Phase(id, change) => match change {
                         PhaseChange::RateFactor(f) => self.world.apply_phase_rate(id, f),
-                        PhaseChange::Interference(p) => {
-                            self.world.apply_phase_interference(id, p)
-                        }
+                        PhaseChange::Interference(p) => self.world.apply_phase_interference(id, p),
                     },
                 }
             }
@@ -290,10 +295,11 @@ mod tests {
         s.submit_at(b, 20.0);
         s.run_until(15.0);
         assert_eq!(s.world().state(ida), JobState::Running);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.world().state(idb)
-        }))
-        .is_err(), "b not yet submitted");
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { s.world().state(idb) }))
+                .is_err(),
+            "b not yet submitted"
+        );
         s.run_until(25.0);
         assert_eq!(s.world().state(idb), JobState::Running);
     }

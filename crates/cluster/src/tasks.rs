@@ -103,8 +103,8 @@ impl TaskExecution {
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let tasks = (0..spec.tasks)
             .map(|_| {
-                let skewed = spec.mean_task_s
-                    * (1.0 + spec.skew * rng.random_range(-1.0..1.0_f64)).max(0.1);
+                let skewed =
+                    spec.mean_task_s * (1.0 + spec.skew * rng.random_range(-1.0..1.0_f64)).max(0.1);
                 let straggler = rng.random_range(0.0..1.0_f64) < spec.straggler_fraction;
                 let duration = if straggler {
                     skewed * spec.straggler_slowdown.max(1.0)
@@ -161,8 +161,7 @@ impl TaskExecution {
 
     /// Indices of currently running tasks.
     pub fn running(&self) -> &[usize] {
-        self.running
-            .as_slice()
+        self.running.as_slice()
     }
 
     /// Mean progress across all tasks (the job progress the framework
@@ -189,7 +188,7 @@ impl TaskExecution {
         if rates.len() < 3 {
             return None;
         }
-        rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        rates.sort_by(f64::total_cmp);
         Some(rates[rates.len() / 2])
     }
 
@@ -283,7 +282,10 @@ mod tests {
             ..spec()
         })
         .completion_time();
-        assert!(slow > clean * 1.2, "stragglers must dominate the tail: {clean:.0} vs {slow:.0}");
+        assert!(
+            slow > clean * 1.2,
+            "stragglers must dominate the tail: {clean:.0} vs {slow:.0}"
+        );
     }
 
     #[test]
@@ -298,7 +300,10 @@ mod tests {
         let flagged = exec.underperforming(0.5, 5.0);
         assert!(!flagged.is_empty(), "slow tasks must be visible mid-wave");
         for idx in flagged {
-            assert!(exec.tasks()[idx].straggler, "task {idx} flagged but healthy");
+            assert!(
+                exec.tasks()[idx].straggler,
+                "task {idx} flagged but healthy"
+            );
         }
     }
 
@@ -343,9 +348,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_panics() {
-        TaskExecution::new(TaskSpec {
-            slots: 0,
-            ..spec()
-        });
+        TaskExecution::new(TaskSpec { slots: 0, ..spec() });
     }
 }

@@ -456,8 +456,13 @@ impl World {
     /// See [`ClusterState::remove_node`].
     pub fn remove_node(&mut self, id: WorkloadId, server: ServerId) -> Result<(), PlaceError> {
         self.cluster.remove_node(id, server)?;
-        self.journal
-            .record(self.now, JournalEvent::NodeRemoved { workload: id, server });
+        self.journal.record(
+            self.now,
+            JournalEvent::NodeRemoved {
+                workload: id,
+                server,
+            },
+        );
         Ok(())
     }
 
@@ -489,7 +494,11 @@ impl World {
     /// # Errors
     ///
     /// Fails if the workload has no placement.
-    pub fn set_params(&mut self, id: WorkloadId, params: FrameworkParams) -> Result<(), PlaceError> {
+    pub fn set_params(
+        &mut self,
+        id: WorkloadId,
+        params: FrameworkParams,
+    ) -> Result<(), PlaceError> {
         self.cluster.set_params(id, params)
     }
 
@@ -733,7 +742,11 @@ impl World {
         self.entry_mut(id).rate_factor = factor;
     }
 
-    pub(crate) fn apply_phase_interference(&mut self, id: WorkloadId, profile: InterferenceProfile) {
+    pub(crate) fn apply_phase_interference(
+        &mut self,
+        id: WorkloadId,
+        profile: InterferenceProfile,
+    ) {
         self.entry_mut(id).phase_interference = Some(profile);
     }
 
@@ -802,7 +815,12 @@ impl World {
 
     /// Capacity multiplier from partitioning overhead.
     fn isolation_factor(&self, id: WorkloadId) -> f64 {
-        if self.cluster.placement(id).map(|p| p.isolated).unwrap_or(false) {
+        if self
+            .cluster
+            .placement(id)
+            .map(|p| p.isolated)
+            .unwrap_or(false)
+        {
             ISOLATION_OVERHEAD_FACTOR
         } else {
             1.0
@@ -821,10 +839,8 @@ impl World {
         for id in running {
             let owned_allocs = self.physics_allocs(id);
             let iso = self.isolation_factor(id);
-            let allocs: Vec<(&Platform, NodeResources, PressureVector)> = owned_allocs
-                .iter()
-                .map(|(p, r, pr)| (p, *r, *pr))
-                .collect();
+            let allocs: Vec<(&Platform, NodeResources, PressureVector)> =
+                owned_allocs.iter().map(|(p, r, pr)| (p, *r, *pr)).collect();
             let held_cores: u32 = self
                 .cluster
                 .placement(id)
@@ -878,9 +894,9 @@ impl World {
                         // utilization rises and the achievable throughput
                         // drops by the overhead.
                         obs.utilization = (obs.utilization / iso).min(1.0);
-                        obs.achieved_qps = obs.achieved_qps.min(offered.min(
-                            model.total_capacity(&allocs) * iso,
-                        ));
+                        obs.achieved_qps = obs
+                            .achieved_qps
+                            .min(offered.min(model.total_capacity(&allocs) * iso));
                         obs.mean_latency_us /= iso;
                         obs.p99_latency_us /= iso;
                     }
@@ -950,7 +966,11 @@ impl World {
                     * activity;
             }
         }
-        for v in cpu.iter_mut().chain(memory.iter_mut()).chain(disk.iter_mut()) {
+        for v in cpu
+            .iter_mut()
+            .chain(memory.iter_mut())
+            .chain(disk.iter_mut())
+        {
             *v = v.clamp(0.0, 1.0);
         }
 
@@ -1199,11 +1219,19 @@ mod tests {
         w.submit(b);
         let sid = big_server(&w);
         let half = NodeResources::new(8, 12.0);
-        w.place(ida, vec![NodeAlloc::immediate(sid, half)], FrameworkParams::default())
-            .unwrap();
+        w.place(
+            ida,
+            vec![NodeAlloc::immediate(sid, half)],
+            FrameworkParams::default(),
+        )
+        .unwrap();
         assert!(w.server_pressure(sid, Some(ida)).is_zero());
-        w.place(idb, vec![NodeAlloc::immediate(sid, half)], FrameworkParams::default())
-            .unwrap();
+        w.place(
+            idb,
+            vec![NodeAlloc::immediate(sid, half)],
+            FrameworkParams::default(),
+        )
+        .unwrap();
         let p = w.server_pressure(sid, Some(ida));
         assert!(p.total() > 0.0, "co-located workload must exert pressure");
     }

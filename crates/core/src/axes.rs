@@ -8,9 +8,7 @@
 //! estimator all agree on them.
 
 use quasar_interference::SharedResource;
-use quasar_workloads::{
-    FrameworkParams, NodeResources, PlatformCatalog, PlatformId, QosTarget,
-};
+use quasar_workloads::{FrameworkParams, NodeResources, PlatformCatalog, PlatformId, QosTarget};
 
 /// The unit family of a workload's performance goal, which selects the
 /// history pool it is classified against.
@@ -295,9 +293,6 @@ mod tests {
         let catalog = PlatformCatalog::local();
         let axes = Axes::for_catalog(&catalog);
         assert_eq!(axes.ref_platform, catalog.highest_end().id);
-        assert_eq!(
-            axes.platforms[axes.ref_platform_index()],
-            axes.ref_platform
-        );
+        assert_eq!(axes.platforms[axes.ref_platform_index()], axes.ref_platform);
     }
 }

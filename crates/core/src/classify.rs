@@ -49,16 +49,52 @@ impl Classification {
     }
 }
 
+/// The output of one axis task, tagged so results can be reassembled
+/// in a fixed order regardless of which worker finished first.
+enum AxisOut {
+    ScaleUp(Vec<f64>),
+    Hetero(Vec<f64>),
+    ScaleOut(Option<Vec<f64>>),
+    Params(Option<Vec<f64>>),
+    Pressure(PressureVector, PressureVector),
+}
+
 /// Runs the four parallel classifications.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Classifier {
     reconstructor: Reconstructor,
+    threads: usize,
+}
+
+impl Default for Classifier {
+    fn default() -> Classifier {
+        Classifier {
+            reconstructor: Reconstructor::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl Classifier {
-    /// A classifier with default SGD hyper-parameters.
+    /// A classifier with default SGD hyper-parameters, running its axis
+    /// classifications serially.
     pub fn new() -> Classifier {
         Classifier::default()
+    }
+
+    /// Fans the per-axis classifications out over up to `threads` OS
+    /// threads (paper §3.2 runs the four classifications concurrently).
+    /// Every axis is a pure function of `(history, data)`, so the
+    /// result is bit-identical to serial execution; only the wall-clock
+    /// time changes. `threads <= 1` keeps the serial path.
+    pub fn with_threads(mut self, threads: usize) -> Classifier {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Classifies one workload from its profiling signal against the
@@ -71,44 +107,83 @@ impl Classifier {
     /// *parallel* scheme: the four classifications run concurrently
     /// (paper §3.2), so the decision latency is the maximum over the
     /// per-axis reconstruction times, returned in microseconds.
-    pub fn classify_timed(&self, history: &HistorySet, data: &ProfilingData) -> (Classification, f64) {
+    ///
+    /// The reported decision time is always the max over per-axis times
+    /// (the parallel scheme's latency model), independent of whether
+    /// this process actually ran the axes on one thread or several.
+    pub fn classify_timed(
+        &self,
+        history: &HistorySet,
+        data: &ProfilingData,
+    ) -> (Classification, f64) {
         let kind = data.kind;
         let k: &KindHistory = history.kind(kind);
-        let mut axis_us: Vec<f64> = Vec::with_capacity(6);
-        let mut timed = |f: &mut dyn FnMut()| {
-            let t0 = std::time::Instant::now();
-            f();
-            axis_us.push(t0.elapsed().as_secs_f64() * 1e6);
-        };
+
+        type AxisTask<'a> = Box<dyn FnOnce() -> (AxisOut, f64) + Send + 'a>;
+        let timed = |out: AxisOut, t0: std::time::Instant| (out, t0.elapsed().as_secs_f64() * 1e6);
+        let tasks: Vec<AxisTask<'_>> = vec![
+            Box::new(move || {
+                let t0 = std::time::Instant::now();
+                timed(
+                    AxisOut::ScaleUp(self.speed_axis(kind, &k.scale_up, &data.scale_up)),
+                    t0,
+                )
+            }),
+            Box::new(move || {
+                let t0 = std::time::Instant::now();
+                timed(
+                    AxisOut::Hetero(self.speed_axis(kind, &k.hetero, &data.hetero)),
+                    t0,
+                )
+            }),
+            Box::new(move || {
+                let t0 = std::time::Instant::now();
+                let out = k
+                    .scale_out
+                    .as_ref()
+                    .filter(|_| !data.scale_out.is_empty())
+                    .map(|m| self.speed_axis(kind, m, &data.scale_out));
+                timed(AxisOut::ScaleOut(out), t0)
+            }),
+            Box::new(move || {
+                let t0 = std::time::Instant::now();
+                let out = k
+                    .params
+                    .as_ref()
+                    .filter(|_| !data.params.is_empty())
+                    .map(|m| self.speed_axis(kind, m, &data.params));
+                timed(AxisOut::Params(out), t0)
+            }),
+            Box::new(move || {
+                let t0 = std::time::Instant::now();
+                let tolerated = self.pressure_axis(&k.tolerated, &data.tolerated);
+                let caused = self.pressure_axis(&k.caused, &data.caused);
+                timed(AxisOut::Pressure(tolerated, caused), t0)
+            }),
+        ];
+
+        let results = crate::par::par_invoke(self.threads, tasks);
+        let wall_us = results.iter().map(|(_, us)| *us).fold(0.0, f64::max);
 
         let mut scale_up_speed = Vec::new();
-        timed(&mut || scale_up_speed = self.speed_axis(kind, &k.scale_up, &data.scale_up));
         let mut hetero_speed = Vec::new();
-        timed(&mut || hetero_speed = self.speed_axis(kind, &k.hetero, &data.hetero));
         let mut scale_out_speed = None;
-        timed(&mut || {
-            scale_out_speed = k
-                .scale_out
-                .as_ref()
-                .filter(|_| !data.scale_out.is_empty())
-                .map(|m| self.speed_axis(kind, m, &data.scale_out))
-        });
         let mut params_speed = None;
-        timed(&mut || {
-            params_speed = k
-                .params
-                .as_ref()
-                .filter(|_| !data.params.is_empty())
-                .map(|m| self.speed_axis(kind, m, &data.params))
-        });
         let mut tolerated = PressureVector::zero();
         let mut caused = PressureVector::zero();
-        timed(&mut || {
-            tolerated = self.pressure_axis(&k.tolerated, &data.tolerated);
-            caused = self.pressure_axis(&k.caused, &data.caused);
-        });
+        for (out, _) in results {
+            match out {
+                AxisOut::ScaleUp(v) => scale_up_speed = v,
+                AxisOut::Hetero(v) => hetero_speed = v,
+                AxisOut::ScaleOut(v) => scale_out_speed = v,
+                AxisOut::Params(v) => params_speed = v,
+                AxisOut::Pressure(t, c) => {
+                    tolerated = t;
+                    caused = c;
+                }
+            }
+        }
 
-        let wall_us = axis_us.iter().copied().fold(0.0, f64::max);
         (
             Classification {
                 kind,
@@ -291,6 +366,51 @@ mod tests {
         );
     }
 
+    /// The tentpole guarantee: fanning the axis classifications out over
+    /// worker threads produces *bit-identical* output to the serial path
+    /// on the same seed, for every thread count.
+    #[test]
+    fn parallel_classification_is_bit_identical_to_serial() {
+        let catalog = PlatformCatalog::local();
+        let history = HistorySet::bootstrap(&catalog, 8, 41);
+        let axes = history.axes().clone();
+
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 1),
+            Box::new(NullManager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog.clone(), 7);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "det-probe",
+            Dataset::new("d", 12.0, 1.0),
+            2,
+            600.0,
+            Priority::Guaranteed,
+        );
+        let id = job.id();
+        sim.submit_at(job, 0.0);
+        sim.run_until(5.0);
+        let data = Profiler::new(2, 9).profile(sim.world_mut(), &axes, id);
+
+        let serial = Classifier::new().with_threads(1).classify(&history, &data);
+        for threads in [2, 4, 8] {
+            let parallel = Classifier::new()
+                .with_threads(threads)
+                .classify(&history, &data);
+            assert_eq!(
+                serial, parallel,
+                "classification diverged at {threads} threads"
+            );
+            // Byte-level check on the float vectors, not just PartialEq
+            // (which would conflate -0.0 with 0.0 and panic on NaN).
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&serial.scale_up_speed), bits(&parallel.scale_up_speed));
+            assert_eq!(bits(&serial.hetero_speed), bits(&parallel.hetero_speed));
+        }
+    }
+
     #[test]
     fn empty_interference_observations_fall_back() {
         let catalog = PlatformCatalog::local();
@@ -307,7 +427,12 @@ mod tests {
             total_seconds: 1.0,
         };
         let class = Classifier::new().classify(&history, &data);
-        assert!(class.tolerated.get(quasar_interference::SharedResource::Cpu) > 0.0);
+        assert!(
+            class
+                .tolerated
+                .get(quasar_interference::SharedResource::Cpu)
+                > 0.0
+        );
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct QuasarConfig {
     pub prediction_lead_s: f64,
     /// Seed for profiling-configuration randomization.
     pub seed: u64,
+    /// Worker threads for the per-axis classification fan-out
+    /// ([`crate::Classifier::with_threads`]). Classification is a pure
+    /// function of its inputs, so any value produces bit-identical
+    /// results; 1 (the default) keeps the serial path.
+    pub threads: usize,
 }
 
 impl Default for QuasarConfig {
@@ -61,6 +66,7 @@ impl Default for QuasarConfig {
             predictive_scaling: false,
             prediction_lead_s: 120.0,
             seed: 0x9A5A,
+            threads: 1,
         }
     }
 }

@@ -163,7 +163,13 @@ mod tests {
             scale_up_speed: (0..axes.scale_up.len()).map(|i| (i + 1) as f64).collect(),
             scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64 * 10.0).collect()),
             hetero_speed: (0..axes.platforms.len())
-                .map(|i| if i == axes.ref_platform_index() { 2.0 } else { 1.0 })
+                .map(|i| {
+                    if i == axes.ref_platform_index() {
+                        2.0
+                    } else {
+                        1.0
+                    }
+                })
                 .collect(),
             params_speed: None,
             tolerated: PressureVector::uniform(50.0),

@@ -13,6 +13,7 @@ use quasar_workloads::{NodeResources, QosTarget};
 use crate::axes::{Axes, GoalKind};
 use crate::classify::Classification;
 use crate::estimate::{Estimator, PlannedNode};
+use crate::ordering::{cost, desirability};
 
 /// A candidate server as seen by the scheduler: free resources plus the
 /// manager's *estimates* of its pressure and of how much headroom its
@@ -109,7 +110,7 @@ impl GreedyScheduler {
                 .iter()
                 .enumerate()
                 .filter(|(c, _)| axes.params[*c].memory_per_node_gb() <= 24.0)
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite speeds"))
+                .max_by(|a, b| desirability(*a.1).total_cmp(&desirability(*b.1)))
                 .map(|(c, _)| c)
                 .unwrap_or(axes.default_params)
         });
@@ -126,11 +127,9 @@ impl GreedyScheduler {
         let quality = |c: &CandidateServer| -> f64 {
             est.hetero_factor(c.platform_index) * est.penalty(&c.pressure) * c.victim_factor
         };
-        ranked.sort_by(|a, b| {
-            quality(b)
-                .partial_cmp(&quality(a))
-                .expect("qualities are finite")
-        });
+        // A non-finite quality estimate (model blow-up) must never rank
+        // ahead of any finite candidate.
+        ranked.sort_by(|a, b| desirability(quality(b)).total_cmp(&desirability(quality(a))));
 
         let single_node_only = class.scale_out_speed.is_none();
         let max_nodes = if single_node_only { 1 } else { self.max_nodes };
@@ -177,18 +176,16 @@ impl GreedyScheduler {
                                 r.cores <= c.free_cores && r.memory_gb <= c.free_memory_gb
                             })
                             .min_by(|&a, &b| {
-                                slice_cost(c, axes.scale_up[a])
-                                    .partial_cmp(&slice_cost(c, axes.scale_up[b]))
-                                    .expect("finite costs")
+                                cost(slice_cost(c, axes.scale_up[a]))
+                                    .total_cmp(&cost(slice_cost(c, axes.scale_up[b])))
                             })
                             .unwrap_or(col);
                         (c, smallest)
                     })
                 })
                 .min_by(|(ca, a), (cb, b)| {
-                    slice_cost(ca, axes.scale_up[*a])
-                        .partial_cmp(&slice_cost(cb, axes.scale_up[*b]))
-                        .expect("finite costs")
+                    cost(slice_cost(ca, axes.scale_up[*a]))
+                        .total_cmp(&cost(slice_cost(cb, axes.scale_up[*b])))
                 });
             if let Some((c, col)) = cheapest {
                 planned.push(PlannedNode {
@@ -207,7 +204,10 @@ impl GreedyScheduler {
         // Quasar raises mappers/node to match, and beyond, the hardware
         // when mapper interference is low).
         let params_col = params_col.map(|initial| {
-            let speeds = class.params_speed.as_ref().expect("params_col implies speeds");
+            let speeds = class
+                .params_speed
+                .as_ref()
+                .expect("params_col implies speeds");
             let c_max = chosen.iter().map(|(_, r)| r.cores).max().unwrap_or(1);
             let pool: Vec<usize> = (0..axes.params.len())
                 .filter(|&c| axes.params[c].mappers_per_node >= c_max)
@@ -218,7 +218,7 @@ impl GreedyScheduler {
                 pool
             };
             pool.into_iter()
-                .max_by(|&a, &b| speeds[a].partial_cmp(&speeds[b]).expect("finite"))
+                .max_by(|&a, &b| desirability(speeds[a]).total_cmp(&desirability(speeds[b])))
                 .unwrap_or(initial)
         });
 
@@ -230,7 +230,14 @@ impl GreedyScheduler {
         if meets_target(class.kind, goal, target) {
             for idx in (0..planned.len()).rev() {
                 self.trim_node(
-                    axes, &est, params_col, target, class.kind, idx, &mut planned, &mut chosen,
+                    axes,
+                    &est,
+                    params_col,
+                    target,
+                    class.kind,
+                    idx,
+                    &mut planned,
+                    &mut chosen,
                 );
             }
         }
@@ -269,9 +276,8 @@ impl GreedyScheduler {
                 r.cores <= candidate.free_cores && r.memory_gb <= candidate.free_memory_gb
             })
             .max_by(|&a, &b| {
-                est.scale_up_factor(a)
-                    .partial_cmp(&est.scale_up_factor(b))
-                    .expect("finite factors")
+                desirability(est.scale_up_factor(a))
+                    .total_cmp(&desirability(est.scale_up_factor(b)))
                     // Prefer the smaller footprint on ties.
                     .then_with(|| {
                         (axes.scale_up[b].cores, axes.scale_up[b].memory_gb as u64)
@@ -367,7 +373,13 @@ mod tests {
                 .collect(),
             scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64).collect()),
             hetero_speed: (0..axes.platforms.len())
-                .map(|i| if i == axes.ref_platform_index() { 2.0 } else { 1.0 })
+                .map(|i| {
+                    if i == axes.ref_platform_index() {
+                        2.0
+                    } else {
+                        1.0
+                    }
+                })
                 .collect(),
             params_speed: None,
             tolerated: PressureVector::uniform(60.0),
@@ -420,7 +432,11 @@ mod tests {
         let target = QosTarget::throughput(one_node_speed * 2.5, 1000.0);
         let plan = scheduler.plan(&axes, &class, &target, &candidates).unwrap();
         assert!(plan.meets, "predicted {}", plan.predicted_goal);
-        assert!(plan.nodes.len() >= 3, "needs at least 3 nodes, got {}", plan.nodes.len());
+        assert!(
+            plan.nodes.len() >= 3,
+            "needs at least 3 nodes, got {}",
+            plan.nodes.len()
+        );
     }
 
     #[test]
@@ -518,7 +534,9 @@ mod tests {
         let scheduler = GreedyScheduler::new(2);
         let candidates = vec![candidate(0, 0, 0, 0.5)];
         let target = QosTarget::throughput(1.0, 1000.0);
-        assert!(scheduler.plan(&axes, &class, &target, &candidates).is_none());
+        assert!(scheduler
+            .plan(&axes, &class, &target, &candidates)
+            .is_none());
     }
 
     #[test]
@@ -532,5 +550,32 @@ mod tests {
         let plan = scheduler.plan(&axes, &class, &target, &candidates).unwrap();
         assert!(!plan.meets);
         assert_eq!(plan.nodes.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_estimates_never_rank_first() {
+        // A corrupted CF estimate (NaN or infinite speed on one platform)
+        // must neither panic the scheduler nor make that platform look
+        // infinitely attractive.
+        let axes = axes();
+        let scheduler = GreedyScheduler::new(4);
+        let ref_idx = axes.ref_platform_index();
+        let poisoned_idx = (ref_idx + 1) % axes.platforms.len();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut class = class(&axes, GoalKind::Qps);
+            class.hetero_speed[poisoned_idx] = bad;
+            let candidates = vec![
+                candidate(0, poisoned_idx, 24, 48.0),
+                candidate(1, ref_idx, 24, 48.0),
+            ];
+            let anchor_speed = class.scale_up_speed[axes.anchor_config];
+            let target = QosTarget::throughput(anchor_speed * 0.5, 1000.0);
+            let plan = scheduler.plan(&axes, &class, &target, &candidates).unwrap();
+            assert!(
+                plan.nodes.iter().all(|(server, _)| *server == 1),
+                "poisoned platform must never be selected ({bad})"
+            );
+            assert!(plan.predicted_goal.is_finite());
+        }
     }
 }

@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 
 use quasar_cf::DenseMatrix;
-use quasar_cluster::{managers::NullManager, ClusterSpec, ProfileConfig, SimConfig, Simulation, World};
+use quasar_cluster::{
+    managers::NullManager, ClusterSpec, ProfileConfig, SimConfig, Simulation, World,
+};
 use quasar_workloads::generate::Generator;
 use quasar_workloads::{
     Dataset, LoadPattern, PlatformCatalog, Priority, WorkloadClass, WorkloadId,
@@ -148,7 +150,12 @@ impl HistorySet {
 }
 
 /// Exhaustively profiles `rows` across every axis column.
-fn profile_kind(world: &mut World, axes: &Axes, kind: GoalKind, rows: &[WorkloadId]) -> KindHistory {
+fn profile_kind(
+    world: &mut World,
+    axes: &Axes,
+    kind: GoalKind,
+    rows: &[WorkloadId],
+) -> KindHistory {
     let n = rows.len();
     let distributed = kind != GoalKind::Rate;
     let framework = kind == GoalKind::Time;

@@ -44,6 +44,8 @@ pub mod estimate;
 pub mod greedy;
 pub mod history;
 mod manager;
+pub mod ordering;
+pub mod par;
 pub mod predict;
 pub mod profile;
 pub mod straggler;

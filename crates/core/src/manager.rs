@@ -8,13 +8,9 @@ use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{Rng, SeedableRng};
 
-use quasar_cluster::{
-    Manager, NodeAlloc, Observation, PlaceError, Server, ServerId, World,
-};
+use quasar_cluster::{Manager, NodeAlloc, Observation, PlaceError, Server, ServerId, World};
 use quasar_interference::{penalty_for, PressureVector};
-use quasar_workloads::{
-    FrameworkParams, NodeResources, PlatformCatalog, QosTarget, WorkloadId,
-};
+use quasar_workloads::{FrameworkParams, NodeResources, PlatformCatalog, QosTarget, WorkloadId};
 
 use crate::axes::GoalKind;
 use crate::classify::{Classification, Classifier};
@@ -22,6 +18,7 @@ use crate::config::QuasarConfig;
 use crate::estimate::{Estimator, PlannedNode};
 use crate::greedy::{AllocationPlan, CandidateServer, GreedyScheduler};
 use crate::history::HistorySet;
+use crate::ordering::desirability;
 use crate::predict::LoadPredictor;
 use crate::profile::Profiler;
 
@@ -132,7 +129,7 @@ impl QuasarManager {
     pub fn with_history(history: HistorySet, config: QuasarConfig) -> QuasarManager {
         QuasarManager {
             profiler: Profiler::new(config.profiling_entries, config.seed ^ 0xF00D),
-            classifier: Classifier::new(),
+            classifier: Classifier::new().with_threads(config.threads),
             scheduler: GreedyScheduler::new(config.max_nodes),
             states: HashMap::new(),
             pending: VecDeque::new(),
@@ -199,7 +196,11 @@ impl QuasarManager {
     /// same classifications, queues, and counters; transient monitoring
     /// state (miss counters, predictors) restarts cleanly, as it would on
     /// a real failover.
-    pub fn restore(history: HistorySet, config: QuasarConfig, snapshot: &ManagerSnapshot) -> QuasarManager {
+    pub fn restore(
+        history: HistorySet,
+        config: QuasarConfig,
+        snapshot: &ManagerSnapshot,
+    ) -> QuasarManager {
         let mut manager = QuasarManager::with_history(history, config);
         for (id, s) in &snapshot.states {
             manager.states.insert(
@@ -229,7 +230,12 @@ impl QuasarManager {
     /// Estimated external pressure on a server from the *classified*
     /// caused-pressure vectors of the workloads the manager placed there
     /// (never ground truth).
-    fn estimated_pressure(&self, world: &World, server: ServerId, exclude: Option<WorkloadId>) -> PressureVector {
+    fn estimated_pressure(
+        &self,
+        world: &World,
+        server: ServerId,
+        exclude: Option<WorkloadId>,
+    ) -> PressureVector {
         let total_cores = world.server(server).total_cores() as f64;
         let mut pressure = PressureVector::zero();
         for id in world.workloads_on(server) {
@@ -377,7 +383,13 @@ impl QuasarManager {
 
     /// Commits a plan through the world, delaying activation by the
     /// profiling wall time.
-    fn commit(&mut self, world: &mut World, id: WorkloadId, plan: &AllocationPlan, wall_s: f64) -> bool {
+    fn commit(
+        &mut self,
+        world: &mut World,
+        id: WorkloadId,
+        plan: &AllocationPlan,
+        wall_s: f64,
+    ) -> bool {
         let active_after = world.now() + wall_s;
         let nodes: Vec<NodeAlloc> = plan
             .nodes
@@ -442,7 +454,10 @@ impl QuasarManager {
 
     /// Packs pending best-effort jobs onto whatever capacity is left.
     fn fill_best_effort(&mut self, world: &mut World) {
-        let res = NodeResources::new(self.config.best_effort_cores, self.config.best_effort_memory_gb);
+        let res = NodeResources::new(
+            self.config.best_effort_cores,
+            self.config.best_effort_memory_gb,
+        );
         let mut remaining = self.pending_best_effort.len();
         while remaining > 0 {
             remaining -= 1;
@@ -526,9 +541,7 @@ impl QuasarManager {
             // predicted near-future overload as an off-track signal so
             // scaling happens before the knee.
             if self.config.predictive_scaling {
-                if let (Observation::Service(svc), Some(state)) =
-                    (&obs, self.states.get_mut(&id))
-                {
+                if let (Observation::Service(svc), Some(state)) = (&obs, self.states.get_mut(&id)) {
                     state.predictor.observe(world.now(), svc.offered_qps);
                     if on_track && svc.utilization > 0.0 {
                         let capacity = svc.achieved_qps / svc.utilization.max(0.02);
@@ -620,8 +633,7 @@ impl QuasarManager {
                             .nodes
                             .iter()
                             .map(|n| {
-                                let pressure =
-                                    self.estimated_pressure(world, n.server, Some(id));
+                                let pressure = self.estimated_pressure(world, n.server, Some(id));
                                 penalty_for(&state.class.tolerated, &pressure)
                             })
                             .fold(1.0_f64, f64::min);
@@ -657,9 +669,8 @@ impl QuasarManager {
                     r.cores <= budget_cores && r.memory_gb <= budget_mem
                 })
                 .max_by(|&a, &b| {
-                    est.scale_up_factor(a)
-                        .partial_cmp(&est.scale_up_factor(b))
-                        .expect("finite")
+                    desirability(est.scale_up_factor(a))
+                        .total_cmp(&desirability(est.scale_up_factor(b)))
                 });
             if let Some(best) = best {
                 if let Some(limit) = cost_limit {
@@ -670,7 +681,9 @@ impl QuasarManager {
                     }
                 }
                 if est.scale_up_factor(best) > est.scale_up_factor(current_col) * 1.05
-                    && world.resize_node(id, node.server, axes.scale_up[best]).is_ok()
+                    && world
+                        .resize_node(id, node.server, axes.scale_up[best])
+                        .is_ok()
                 {
                     grew = true;
                 }
@@ -708,9 +721,13 @@ impl QuasarManager {
                 .filter(|c| !used.contains(&c.server) && c.free_cores >= 2)
                 .collect();
             let best = candidates.iter().max_by(|a, b| {
-                let qa = est.hetero_factor(a.platform_index) * est.penalty(&a.pressure) * a.victim_factor;
-                let qb = est.hetero_factor(b.platform_index) * est.penalty(&b.pressure) * b.victim_factor;
-                qa.partial_cmp(&qb).expect("finite")
+                let qa = est.hetero_factor(a.platform_index)
+                    * est.penalty(&a.pressure)
+                    * a.victim_factor;
+                let qb = est.hetero_factor(b.platform_index)
+                    * est.penalty(&b.pressure)
+                    * b.victim_factor;
+                desirability(qa).total_cmp(&desirability(qb))
             });
             if let Some(best) = best {
                 let col = (0..axes.scale_up.len())
@@ -719,9 +736,8 @@ impl QuasarManager {
                         r.cores <= best.free_cores && r.memory_gb <= best.free_memory_gb
                     })
                     .max_by(|&a, &b| {
-                        est.scale_up_factor(a)
-                            .partial_cmp(&est.scale_up_factor(b))
-                            .expect("finite")
+                        desirability(est.scale_up_factor(a))
+                            .total_cmp(&desirability(est.scale_up_factor(b)))
                     });
                 if let Some(col) = col {
                     let server = ServerId(best.server);
@@ -732,7 +748,11 @@ impl QuasarManager {
                         }
                     }
                     // Stateful services migrate microshards: small delay.
-                    let delay = if world.spec(id).class.is_stateful() { 5.0 } else { 0.0 };
+                    let delay = if world.spec(id).class.is_stateful() {
+                        5.0
+                    } else {
+                        0.0
+                    };
                     let node = NodeAlloc {
                         server,
                         resources: axes.scale_up[col],
@@ -768,7 +788,10 @@ impl QuasarManager {
         let target = match (world.observation(id), world.spec(id).target) {
             (
                 Some(Observation::Service(obs)),
-                QosTarget::Throughput { qps, p99_latency_us },
+                QosTarget::Throughput {
+                    qps,
+                    p99_latency_us,
+                },
             ) => QosTarget::Throughput {
                 qps: (obs.offered_qps * 1.3).clamp(qps * 0.05, qps),
                 p99_latency_us,
@@ -795,9 +818,11 @@ impl QuasarManager {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
+                    // desirability() maps a NaN quality to -inf, so a node
+                    // with a corrupted estimate is the first one removed.
                     let qa = est.hetero_factor(a.platform_index) * est.penalty(&a.pressure);
                     let qb = est.hetero_factor(b.platform_index) * est.penalty(&b.pressure);
-                    qa.partial_cmp(&qb).expect("finite")
+                    desirability(qa).total_cmp(&desirability(qb))
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty");
@@ -938,8 +963,9 @@ impl QuasarManager {
             let tolerated = state.class.tolerated;
             let mut deviated = false;
             for _ in 0..2 {
-                let r = self.history.axes().resources
-                    [self.rng.random_range(0..self.history.axes().resources.len())];
+                let r = self.history.axes().resources[self
+                    .rng
+                    .random_range(0..self.history.axes().resources.len())];
                 let intensity = (tolerated.get(r) + 15.0).min(100.0);
                 self.stats.borrow_mut().proactive_probes += 1;
                 let Some(placement) = world.placement(id) else {

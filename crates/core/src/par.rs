@@ -1,0 +1,186 @@
+//! Deterministic parallel execution.
+//!
+//! A fixed-size worker pool built on [`std::thread::scope`] that fans
+//! out independent items while guaranteeing **bit-identical output to
+//! serial execution regardless of thread count**. Two ingredients make
+//! this hold:
+//!
+//! 1. Results are assembled by *item index*, never by completion order.
+//! 2. Any randomness an item needs comes from a private RNG stream
+//!    seeded by [`derive_seed`]`(base_seed, item_index)` — a pure
+//!    function of the item's position, not of which worker ran it or
+//!    when.
+//!
+//! With those two rules, `--threads 1` and `--threads N` produce the
+//! same bytes; parallelism only changes wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if that cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Derives the seed for item `index` of a run with `base_seed`.
+///
+/// SplitMix64 finalizer over the pair, so per-item streams are
+/// decorrelated even for adjacent indices and a zero base seed. This is
+/// the *only* sanctioned way to give a parallel item randomness: the
+/// seed depends on `(base_seed, index)` alone, so output cannot depend
+/// on scheduling.
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results
+/// in item order.
+///
+/// `f` receives the item's index alongside the item. With `threads <= 1`
+/// (or a single item) this degenerates to a plain serial loop — no
+/// threads are spawned. Workers pull indices from a shared atomic
+/// counter, so scheduling is dynamic, but because `f` sees only
+/// `(index, item)` and results land in slot `index`, the output vector
+/// is identical for every thread count.
+///
+/// Panics in `f` propagate to the caller (via [`std::thread::scope`]).
+pub fn par_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let workers = threads.min(n);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// [`par_map`] for items that need a private RNG stream: `f` receives
+/// `(index, seed, item)` where `seed = `[`derive_seed`]`(base_seed, index)`.
+pub fn par_map_seeded<T, U, F>(threads: usize, base_seed: u64, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, u64, T) -> U + Sync,
+{
+    par_map(threads, items, |i, item| {
+        f(i, derive_seed(base_seed, i as u64), item)
+    })
+}
+
+/// Runs a fixed set of heterogeneous tasks on up to `threads` workers,
+/// returning their outputs in task order. Used to fan out the per-axis
+/// CF classifications, which are a handful of differently-shaped jobs
+/// rather than a uniform item list.
+pub fn par_invoke<'a, U>(threads: usize, tasks: Vec<Box<dyn FnOnce() -> U + Send + 'a>>) -> Vec<U>
+where
+    U: Send + 'a,
+{
+    par_map(threads, tasks, |_, task| task())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..97).collect();
+        let f = |i: usize, x: u64| x.wrapping_mul(derive_seed(42, i as u64));
+        let serial = par_map(1, items.clone(), f);
+        for threads in [2, 3, 4, 8, 64] {
+            assert_eq!(
+                par_map(threads, items.clone(), f),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_streams_depend_only_on_index() {
+        let a = par_map_seeded(1, 7, vec![(); 16], |_, seed, ()| seed);
+        let b = par_map_seeded(5, 7, vec![(); 16], |_, seed, ()| seed);
+        assert_eq!(a, b);
+        // All 16 streams distinct.
+        let set: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_adjacent_indices() {
+        let s0 = derive_seed(0, 0);
+        let s1 = derive_seed(0, 1);
+        assert_ne!(s0, s1);
+        assert!((s0 ^ s1).count_ones() > 8, "adjacent seeds too similar");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(4, vec![9], |i, x: u32| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn invoke_preserves_task_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Stagger so completion order differs from task order.
+                    std::thread::sleep(std::time::Duration::from_micros(((20 - i) * 50) as u64));
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        assert_eq!(par_invoke(4, tasks), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map(64, vec![1u32, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

@@ -131,7 +131,10 @@ mod tests {
             p.observe(i as f64, 70.0 + (i - 4) as f64 * 20.0);
         }
         assert_eq!(p.len(), 4);
-        assert!(p.slope().unwrap() > 0.0, "window must reflect the new trend");
+        assert!(
+            p.slope().unwrap() > 0.0,
+            "window must reflect the new trend"
+        );
     }
 
     #[test]

@@ -176,11 +176,8 @@ impl Profiler {
         }
 
         data.total_seconds = group_seconds.iter().sum();
-        data.wall_seconds = class.setup_seconds()
-            + group_seconds
-                .iter()
-                .copied()
-                .fold(0.0, f64::max);
+        data.wall_seconds =
+            class.setup_seconds() + group_seconds.iter().copied().fold(0.0, f64::max);
         data
     }
 

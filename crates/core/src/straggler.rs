@@ -89,14 +89,14 @@ impl TaskWave {
     /// few stragglers this matches the overall median).
     pub fn median_rate(&self) -> f64 {
         let mut rates: Vec<f64> = self.tasks.iter().map(Task::rate).collect();
-        rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        rates.sort_by(f64::total_cmp);
         rates[rates.len() / 2]
     }
 
     /// Median actual duration.
     pub fn median_duration(&self) -> f64 {
         let mut durations: Vec<f64> = self.tasks.iter().map(Task::actual_s).collect();
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        durations.sort_by(f64::total_cmp);
         durations[durations.len() / 2]
     }
 }
@@ -117,8 +117,8 @@ pub fn detect_hadoop(wave: &TaskWave) -> Vec<Detection> {
     // Average progress at time t: mean over tasks of min(t/actual, 1).
     // Solve (numerically) for the first t where avg - p_i(t) >= 0.2.
     scan_detections(wave, |wave, task, t| {
-        let avg: f64 = wave.tasks().iter().map(|x| x.progress(t)).sum::<f64>()
-            / wave.tasks().len() as f64;
+        let avg: f64 =
+            wave.tasks().iter().map(|x| x.progress(t)).sum::<f64>() / wave.tasks().len() as f64;
         avg - task.progress(t) >= 0.20
     })
 }
@@ -128,7 +128,7 @@ pub fn detect_hadoop(wave: &TaskWave) -> Vec<Detection> {
 /// quartile and a minimum observation window has passed.
 pub fn detect_late(wave: &TaskWave) -> Vec<Detection> {
     let mut rates: Vec<f64> = wave.tasks().iter().map(Task::rate).collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    rates.sort_by(f64::total_cmp);
     let slow_quartile = rates[wave.tasks().len() / 4];
     // LATE needs enough history to trust the rate estimate; it uses the
     // task progress score, stable after ~25% of the median duration.
@@ -160,11 +160,7 @@ fn scan_detections(
     wave: &TaskWave,
     flagged: impl Fn(&TaskWave, &Task, f64) -> bool,
 ) -> Vec<Detection> {
-    let horizon = wave
-        .tasks()
-        .iter()
-        .map(Task::actual_s)
-        .fold(0.0, f64::max);
+    let horizon = wave.tasks().iter().map(Task::actual_s).fold(0.0, f64::max);
     let step = horizon / 2_000.0;
     let mut detections = Vec::new();
     for idx in wave.true_stragglers() {
@@ -237,7 +233,10 @@ mod tests {
         );
         // Shape check against the paper's 19% (vs Hadoop) and 8% (vs LATE)
         // earlier detection, loosely.
-        assert!(quasar < 0.95 * hadoop, "quasar should be much earlier than hadoop");
+        assert!(
+            quasar < 0.95 * hadoop,
+            "quasar should be much earlier than hadoop"
+        );
         assert!(quasar < 0.99 * late, "quasar should be earlier than late");
     }
 

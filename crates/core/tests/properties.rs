@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 
+use quasar_core::estimate::PlannedNode;
 use quasar_core::greedy::CandidateServer;
 use quasar_core::{Axes, Classification, Estimator, GoalKind, GreedyScheduler};
-use quasar_core::estimate::PlannedNode;
 use quasar_interference::PressureVector;
 use quasar_workloads::{NodeResources, PlatformCatalog, QosTarget};
 

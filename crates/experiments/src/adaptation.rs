@@ -105,7 +105,11 @@ pub fn run(scale: Scale) -> AdaptationResult {
         t += 60.0;
         sim.run_until(t);
         let s = stats.borrow();
-        reactions.push((t, s.adaptations + s.phase_changes_detected, s.phase_changes_detected));
+        reactions.push((
+            t,
+            s.adaptations + s.phase_changes_detected,
+            s.phase_changes_detected,
+        ));
     }
     for &at in &change_times {
         let before = reactions
@@ -169,7 +173,11 @@ pub fn run(scale: Scale) -> AdaptationResult {
     }
     // Include still-running jobs (long-running services in the paper have
     // negligible relative overhead).
-    let overhead_fraction = if overheads.is_empty() { 0.02 } else { mean(&overheads) };
+    let overhead_fraction = if overheads.is_empty() {
+        0.02
+    } else {
+        mean(&overheads)
+    };
 
     AdaptationResult {
         phase_detection_rate,
@@ -242,9 +250,7 @@ fn mitigated_completion(spec: TaskSpec, policy: MitigationPolicy) -> f64 {
                 let min_obs = spec.mean_task_s * 0.10;
                 let now = exec.now_s();
                 for i in exec.underperforming(0.5, min_obs) {
-                    if !relaunched.contains(&i)
-                        && !quasar_pending.iter().any(|&(p, _)| p == i)
-                    {
+                    if !relaunched.contains(&i) && !quasar_pending.iter().any(|&(p, _)| p == i) {
                         quasar_pending.push((i, now));
                     }
                 }

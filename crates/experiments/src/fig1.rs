@@ -34,12 +34,24 @@ pub struct Fig1Result {
 impl Fig1Result {
     /// Time-averaged aggregate CPU utilization.
     pub fn mean_cpu_used(&self) -> f64 {
-        mean(&self.cpu_series.iter().map(|(_, u, _)| *u).collect::<Vec<_>>())
+        mean(
+            &self
+                .cpu_series
+                .iter()
+                .map(|(_, u, _)| *u)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Time-averaged aggregate CPU reservation.
     pub fn mean_cpu_reserved(&self) -> f64 {
-        mean(&self.cpu_series.iter().map(|(_, _, r)| *r).collect::<Vec<_>>())
+        mean(
+            &self
+                .cpu_series
+                .iter()
+                .map(|(_, _, r)| *r)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Fraction of workloads that over-size their reservation (ratio > 1.2).
@@ -100,7 +112,11 @@ pub fn run(scale: Scale) -> Fig1Result {
     }
     // Plus a background stream of batch work.
     let horizon = days * LoadPattern::DAY_S;
-    for (i, job) in generator.best_effort_fill(batch_count).into_iter().enumerate() {
+    for (i, job) in generator
+        .best_effort_fill(batch_count)
+        .into_iter()
+        .enumerate()
+    {
         let at = (i as f64 / batch_count as f64) * horizon * 0.8;
         sim.submit_at(job, at);
     }
@@ -121,7 +137,10 @@ pub fn run(scale: Scale) -> Fig1Result {
     let mut daily_cpu_cdfs = Vec::new();
     let n_servers = sim.world().servers().len();
     for day in 0..days as usize {
-        let (from, to) = (day as f64 * LoadPattern::DAY_S, (day as f64 + 1.0) * LoadPattern::DAY_S);
+        let (from, to) = (
+            day as f64 * LoadPattern::DAY_S,
+            (day as f64 + 1.0) * LoadPattern::DAY_S,
+        );
         let window: Vec<_> = samples
             .iter()
             .filter(|s| s.time_s >= from && s.time_s < to)
@@ -138,7 +157,7 @@ pub fn run(scale: Scale) -> Fig1Result {
         for v in &mut per_server {
             *v /= window.len() as f64;
         }
-        per_server.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        per_server.sort_by(f64::total_cmp);
         daily_cpu_cdfs.push(per_server);
     }
 
@@ -161,10 +180,18 @@ pub fn run(scale: Scale) -> Fig1Result {
             reserved_over_used.push(reserved_cores as f64 / record.peak_cores as f64);
         }
     }
-    reserved_over_used.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    reserved_over_used.sort_by(f64::total_cmp);
 
-    let rows: Vec<Vec<f64>> = cpu_series.iter().map(|(h, u, r)| vec![*h, *u, *r]).collect();
-    write_csv("fig1", "cpu_used_vs_reserved", &["hour", "used", "reserved"], &rows);
+    let rows: Vec<Vec<f64>> = cpu_series
+        .iter()
+        .map(|(h, u, r)| vec![*h, *u, *r])
+        .collect();
+    write_csv(
+        "fig1",
+        "cpu_used_vs_reserved",
+        &["hour", "used", "reserved"],
+        &rows,
+    );
 
     Fig1Result {
         cpu_series,
@@ -183,8 +210,20 @@ impl fmt::Display for Fig1Result {
             format!("{:.1}", self.mean_cpu_used() * 100.0),
             format!("{:.1}", self.mean_cpu_reserved() * 100.0),
         ]);
-        let mem_used = mean(&self.memory_series.iter().map(|(_, u, _)| *u).collect::<Vec<_>>());
-        let mem_res = mean(&self.memory_series.iter().map(|(_, _, r)| *r).collect::<Vec<_>>());
+        let mem_used = mean(
+            &self
+                .memory_series
+                .iter()
+                .map(|(_, u, _)| *u)
+                .collect::<Vec<_>>(),
+        );
+        let mem_res = mean(
+            &self
+                .memory_series
+                .iter()
+                .map(|(_, _, r)| *r)
+                .collect::<Vec<_>>(),
+        );
         t.row([
             "memory".to_string(),
             format!("{:.1}", mem_used * 100.0),

@@ -114,9 +114,8 @@ fn run_cloud(scale: Scale, which: &str) -> CloudRun {
                 match record.and_then(|r| r.execution_s()) {
                     Some(exec) => (seconds / exec).min(1.0),
                     // Unfinished: score what it achieved so far.
-                    None => (seconds
-                        / (horizon - record.map(|r| r.submitted_s).unwrap_or(0.0)))
-                    .clamp(0.0, 1.0),
+                    None => (seconds / (horizon - record.map(|r| r.submitted_s).unwrap_or(0.0)))
+                        .clamp(0.0, 1.0),
                 }
             }
             QosTarget::Ips { ips } => {
@@ -155,10 +154,15 @@ fn run_cloud(scale: Scale, which: &str) -> CloudRun {
             );
         }
         let never_placed = completions.iter().filter(|r| r.placed_s.is_none()).count();
-        let unfinished = completions.iter().filter(|r| r.finished_s.is_none()).count();
-        eprintln!("[fig11 {which}] batch records: never_placed={never_placed} unfinished={unfinished}");
+        let unfinished = completions
+            .iter()
+            .filter(|r| r.finished_s.is_none())
+            .count();
+        eprintln!(
+            "[fig11 {which}] batch records: never_placed={never_placed} unfinished={unfinished}"
+        );
     }
-    normalized.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    normalized.sort_by(f64::total_cmp);
 
     let samples = world.metrics().samples();
     let steady: Vec<f64> = samples
@@ -168,7 +172,14 @@ fn run_cloud(scale: Scale, which: &str) -> CloudRun {
         .collect();
     let allocation_series: Vec<(f64, f64, f64, f64)> = samples
         .iter()
-        .map(|s| (s.time_s / 60.0, s.allocated_cpu, s.mean_cpu(), s.reserved_cpu))
+        .map(|s| {
+            (
+                s.time_s / 60.0,
+                s.allocated_cpu,
+                s.mean_cpu(),
+                s.reserved_cpu,
+            )
+        })
         .collect();
 
     CloudRun {
@@ -197,7 +208,12 @@ pub fn run(scale: Scale) -> Fig11Result {
                 .map(move |(j, v)| vec![i as f64, j as f64, *v])
         })
         .collect();
-    write_csv("fig11", "normalized_perf", &["manager", "rank", "normalized"], &rows);
+    write_csv(
+        "fig11",
+        "normalized_perf",
+        &["manager", "rank", "normalized"],
+        &rows,
+    );
 
     Fig11Result { runs }
 }
@@ -205,7 +221,12 @@ pub fn run(scale: Scale) -> Fig11Result {
 impl fmt::Display for Fig11Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new("Fig.11 cloud-scale: performance vs target and utilization")
-            .header(["manager", "mean norm perf", "p10 norm perf", "steady CPU util %"]);
+            .header([
+                "manager",
+                "mean norm perf",
+                "p10 norm perf",
+                "steady CPU util %",
+            ]);
         for r in &self.runs {
             t.row([
                 r.manager.clone(),
@@ -217,9 +238,24 @@ impl fmt::Display for Fig11Result {
         write!(f, "{}", t.render())?;
         // Fig. 11d summary for Quasar vs reservation.
         if let (Some(q), Some(ll)) = (self.run_named("quasar"), self.run_named("reservation+ll")) {
-            let alloc = mean(&q.allocation_series.iter().map(|(_, a, _, _)| *a).collect::<Vec<_>>());
-            let used = mean(&q.allocation_series.iter().map(|(_, _, u, _)| *u).collect::<Vec<_>>());
-            let reserved = mean(&ll.allocation_series.iter().map(|(_, _, _, r)| *r).collect::<Vec<_>>());
+            let alloc = mean(
+                &q.allocation_series
+                    .iter()
+                    .map(|(_, a, _, _)| *a)
+                    .collect::<Vec<_>>(),
+            );
+            let used = mean(
+                &q.allocation_series
+                    .iter()
+                    .map(|(_, _, u, _)| *u)
+                    .collect::<Vec<_>>(),
+            );
+            let reserved = mean(
+                &ll.allocation_series
+                    .iter()
+                    .map(|(_, _, _, r)| *r)
+                    .collect::<Vec<_>>(),
+            );
             writeln!(
                 f,
                 "Fig.11d: quasar allocated {:.1}% / used {:.1}%; reservation+ll reserved {:.1}%",
@@ -240,7 +276,10 @@ mod tests {
     fn quasar_dominates_the_baselines() {
         let r = run(Scale::Quick);
         let q = r.run_named("quasar").unwrap().mean_normalized();
-        let p = r.run_named("reservation+paragon").unwrap().mean_normalized();
+        let p = r
+            .run_named("reservation+paragon")
+            .unwrap()
+            .mean_normalized();
         let ll = r.run_named("reservation+ll").unwrap().mean_normalized();
         // The paper's ordering is Quasar (0.98) > Paragon (0.83) > LL
         // (0.62). Quasar must dominate both baselines on the mean and on
@@ -249,10 +288,14 @@ mod tests {
         // over-sized reservations shelter LL more than the paper's
         // saturated scenario did).
         assert!(q > p + 0.05, "quasar {q:.2} must beat paragon {p:.2}");
-        assert!(q > ll + 0.05, "quasar {q:.2} must beat reservation+ll {ll:.2}");
+        assert!(
+            q > ll + 0.05,
+            "quasar {q:.2} must beat reservation+ll {ll:.2}"
+        );
         assert!(q > 0.85, "quasar mean normalized {q:.2}");
         let q10 = crate::report::percentile(&r.run_named("quasar").unwrap().normalized, 0.10);
-        let ll10 = crate::report::percentile(&r.run_named("reservation+ll").unwrap().normalized, 0.10);
+        let ll10 =
+            crate::report::percentile(&r.run_named("reservation+ll").unwrap().normalized, 0.10);
         assert!(
             q10 > ll10 + 0.10,
             "quasar tail p10 {q10:.2} must dominate LL {ll10:.2}"

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use quasar_core::par::par_map;
 use quasar_interference::{PressureVector, SharedResource};
 use quasar_workloads::{
     BatchModel, Dataset, FrameworkParams, NodeResources, Platform, PlatformCatalog, ServiceModel,
@@ -151,7 +152,7 @@ fn pattern_name(pattern: Option<SharedResource>) -> String {
 }
 
 fn dist(mut speedups: Vec<f64>) -> SpeedupDist {
-    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    speedups.sort_by(f64::total_cmp);
     SpeedupDist {
         min: *speedups.first().expect("non-empty sweep"),
         median: speedups[speedups.len() / 2],
@@ -163,8 +164,14 @@ fn dist(mut speedups: Vec<f64>) -> SpeedupDist {
 /// catalogs the characterization sweeps over.
 pub fn table1() -> String {
     let catalog = PlatformCatalog::local();
-    let mut t = TextTable::new("Table 1: server platforms (A-J)")
-        .header(["platform", "cores", "memory GB", "disk GB", "core speed", "$/h"]);
+    let mut t = TextTable::new("Table 1: server platforms (A-J)").header([
+        "platform",
+        "cores",
+        "memory GB",
+        "disk GB",
+        "core speed",
+        "$/h",
+    ]);
     for p in catalog.iter() {
         t.row([
             p.name.clone(),
@@ -176,8 +183,8 @@ pub fn table1() -> String {
         ]);
     }
     let mut out = t.render();
-    let mut t2 = TextTable::new("Table 1: interference patterns (A-I)")
-        .header(["pattern", "resource"]);
+    let mut t2 =
+        TextTable::new("Table 1: interference patterns (A-I)").header(["pattern", "resource"]);
     for (i, pattern) in INTERFERENCE_PATTERNS.iter().enumerate() {
         t2.row([
             char::from(b'A' + i as u8).to_string(),
@@ -185,8 +192,12 @@ pub fn table1() -> String {
         ]);
     }
     out.push_str(&t2.render());
-    let mut t3 = TextTable::new("Table 1: input datasets (A-C)")
-        .header(["workload", "dataset", "size GB", "complexity"]);
+    let mut t3 = TextTable::new("Table 1: input datasets (A-C)").header([
+        "workload",
+        "dataset",
+        "size GB",
+        "complexity",
+    ]);
     for d in Dataset::hadoop_catalog() {
         t3.row([
             "hadoop".to_string(),
@@ -207,8 +218,16 @@ pub fn table1() -> String {
     out
 }
 
-/// Runs the characterization.
+/// Runs the characterization serially (equivalent to `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Fig2Result {
+    run_with(scale, 1)
+}
+
+/// Runs the characterization with the sweep points of each panel fanned
+/// out over up to `threads` workers. Every sweep point is a pure
+/// function of the (fixed-seed) models, so the output is bit-identical
+/// for any thread count.
+pub fn run_with(scale: Scale, threads: usize) -> Fig2Result {
     let catalog = PlatformCatalog::local();
     let params = FrameworkParams::default();
     let platform_a = catalog.by_name("A").expect("catalog has A").clone();
@@ -241,33 +260,30 @@ pub fn run(scale: Scale) -> Fig2Result {
     };
 
     // --- Hadoop heterogeneity: per platform, sweep sub-allocations. ---
-    let hadoop_heterogeneity: Vec<(String, SpeedupDist)> = catalog
-        .iter()
-        .map(|p| {
-            let speedups: Vec<f64> = sub_allocs(p)
+    let platforms: Vec<Platform> = catalog.iter().cloned().collect();
+    let hadoop_heterogeneity: Vec<(String, SpeedupDist)> =
+        par_map(threads, platforms.clone(), |_, p| {
+            let speedups: Vec<f64> = sub_allocs(&p)
                 .into_iter()
-                .map(|res| rate_on(p, res, &PressureVector::zero()) / base_rate)
+                .map(|res| rate_on(&p, res, &PressureVector::zero()) / base_rate)
                 .collect();
             (p.name.clone(), dist(speedups))
-        })
-        .collect();
+        });
 
     // --- Hadoop interference on platform A. ---
-    let hadoop_interference: Vec<(String, SpeedupDist)> = INTERFERENCE_PATTERNS
-        .iter()
-        .map(|&pattern| {
+    let hadoop_interference: Vec<(String, SpeedupDist)> =
+        par_map(threads, INTERFERENCE_PATTERNS.to_vec(), |_, pattern| {
             let pressure = pattern_pressure(pattern);
             let speedups: Vec<f64> = sub_allocs(&platform_a)
                 .into_iter()
                 .map(|res| rate_on(&platform_a, res, &pressure) / base_rate)
                 .collect();
             (pattern_name(pattern), dist(speedups))
-        })
-        .collect();
+        });
 
     // --- Hadoop scale-out on platform A, 1..8 nodes. ---
-    let hadoop_scale_out: Vec<(usize, SpeedupDist)> = (1..=8)
-        .map(|n| {
+    let hadoop_scale_out: Vec<(usize, SpeedupDist)> =
+        par_map(threads, (1..=8).collect(), |_, n| {
             let speedups: Vec<f64> = sub_allocs(&platform_a)
                 .into_iter()
                 .map(|res| {
@@ -278,13 +294,11 @@ pub fn run(scale: Scale) -> Fig2Result {
                 })
                 .collect();
             (n, dist(speedups))
-        })
-        .collect();
+        });
 
     // --- Hadoop dataset impact: same job, Table 1 datasets A–C. ---
-    let hadoop_dataset: Vec<(String, SpeedupDist)> = Dataset::hadoop_catalog()
-        .into_iter()
-        .map(|ds| {
+    let hadoop_dataset: Vec<(String, SpeedupDist)> =
+        par_map(threads, Dataset::hadoop_catalog(), |_, ds| {
             let name = ds.name().to_string();
             let variant = hadoop(ds);
             let speedups: Vec<f64> = sub_allocs(&platform_a)
@@ -295,8 +309,7 @@ pub fn run(scale: Scale) -> Fig2Result {
                 })
                 .collect();
             (name, dist(speedups))
-        })
-        .collect();
+        });
 
     // --- Memcached bottom row. ---
     let memcached = |dataset: Dataset| -> ServiceModel {
@@ -310,7 +323,10 @@ pub fn run(scale: Scale) -> Fig2Result {
         Scale::Quick => 12,
         Scale::Full => 30,
     };
-    let curve = |platform: &Platform, res: NodeResources, pressure: PressureVector, model: &ServiceModel| {
+    let curve = |platform: &Platform,
+                 res: NodeResources,
+                 pressure: PressureVector,
+                 model: &ServiceModel| {
         let allocs = [(platform, res, pressure)];
         let cap = model.total_capacity(&allocs);
         (1..=curve_points)
@@ -325,20 +341,23 @@ pub fn run(scale: Scale) -> Fig2Result {
             .collect::<Vec<_>>()
     };
 
-    let memcached_heterogeneity: Vec<(String, Vec<LatencyPoint>)> = catalog
-        .iter()
-        .map(|p| {
+    let memcached_heterogeneity: Vec<(String, Vec<LatencyPoint>)> =
+        par_map(threads, platforms, |_, p| {
             (
                 p.name.clone(),
-                curve(p, NodeResources::all_of(p), PressureVector::zero(), &service),
+                curve(
+                    &p,
+                    NodeResources::all_of(&p),
+                    PressureVector::zero(),
+                    &service,
+                ),
             )
-        })
-        .collect();
+        });
 
-    let memcached_interference: Vec<(String, Vec<LatencyPoint>)> = INTERFERENCE_PATTERNS
-        .iter()
-        .take(6)
-        .map(|&pattern| {
+    let memcached_interference: Vec<(String, Vec<LatencyPoint>)> = par_map(
+        threads,
+        INTERFERENCE_PATTERNS[..6].to_vec(),
+        |_, pattern| {
             (
                 pattern_name(pattern),
                 curve(
@@ -348,8 +367,8 @@ pub fn run(scale: Scale) -> Fig2Result {
                     &service,
                 ),
             )
-        })
-        .collect();
+        },
+    );
 
     let memcached_scale_up: Vec<(u32, Vec<LatencyPoint>)> = [2u32, 4, 8]
         .into_iter()
@@ -401,21 +420,24 @@ pub fn run(scale: Scale) -> Fig2Result {
         .memcached_heterogeneity
         .iter()
         .enumerate()
-        .flat_map(|(i, (_, curve))| {
-            curve
-                .iter()
-                .map(move |p| vec![i as f64, p.qps, p.p99_us])
-        })
+        .flat_map(|(i, (_, curve))| curve.iter().map(move |p| vec![i as f64, p.qps, p.p99_us]))
         .collect();
-    write_csv("fig2", "memcached_heterogeneity", &["platform", "qps", "p99_us"], &rows);
+    write_csv(
+        "fig2",
+        "memcached_heterogeneity",
+        &["platform", "qps", "p99_us"],
+        &rows,
+    );
 
     result
 }
 
 impl fmt::Display for Fig2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new("Fig.2 (top) Hadoop speedup vs platform A (min/median/max over sub-allocations)")
-            .header(["sweep", "point", "min", "median", "max"]);
+        let mut t = TextTable::new(
+            "Fig.2 (top) Hadoop speedup vs platform A (min/median/max over sub-allocations)",
+        )
+        .header(["sweep", "point", "min", "median", "max"]);
         for (name, d) in &self.hadoop_heterogeneity {
             t.row([
                 "heterogeneity".to_string(),
@@ -454,8 +476,11 @@ impl fmt::Display for Fig2Result {
         }
         write!(f, "{}", t.render())?;
 
-        let mut t2 = TextTable::new("Fig.2 (bottom) memcached: knee QPS at p99 <= 1ms")
-            .header(["sweep", "point", "knee kQPS"]);
+        let mut t2 = TextTable::new("Fig.2 (bottom) memcached: knee QPS at p99 <= 1ms").header([
+            "sweep",
+            "point",
+            "knee kQPS",
+        ]);
         for (name, knee) in self.memcached_knees() {
             t2.row([
                 "heterogeneity".to_string(),
@@ -523,7 +548,11 @@ mod tests {
         // The paper reports up to ~7x heterogeneity impact and up to ~10x
         // under interference+allocation effects; require substantial
         // spreads.
-        assert!(r.heterogeneity_spread() > 2.0, "spread {:.1}", r.heterogeneity_spread());
+        assert!(
+            r.heterogeneity_spread() > 2.0,
+            "spread {:.1}",
+            r.heterogeneity_spread()
+        );
         assert!(
             r.worst_interference_slowdown() > 1.5,
             "slowdown {:.1}",

@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use quasar_core::par::par_map_seeded;
+
 use crate::report::{mean, percentile, write_csv, TextTable};
 use crate::validate::{AppClass, ErrorSamples, Validator};
 use crate::{local_history, Scale};
@@ -52,8 +54,21 @@ impl Fig3Result {
     }
 }
 
-/// Runs the density sweep.
+/// Runs the density sweep serially (equivalent to `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Fig3Result {
+    run_with(scale, 1)
+}
+
+/// Runs the density sweep, fanning the per-point workloads out over up
+/// to `threads` workers (bit-identical to serial for any count).
+///
+/// The comparison across densities is *paired*: density point `d` of an
+/// app class validates the same workloads with the same per-item seeds
+/// as every other density point, so the matrix density is the only
+/// variable. (An earlier version drew fresh workloads per density; with
+/// a handful of samples per point, cross-density noise then swamped the
+/// density effect itself.)
+pub fn run_with(scale: Scale, threads: usize) -> Fig3Result {
     let (densities, per_point): (&[usize], usize) = match scale {
         Scale::Quick => (&[1, 2, 4], 4),
         Scale::Full => (&[1, 2, 3, 4, 5, 6, 8], 8),
@@ -62,14 +77,24 @@ pub fn run(scale: Scale) -> Fig3Result {
 
     let mut sweeps = Vec::new();
     for app in apps {
-        let mut validator = Validator::new(local_history(), 0xF163 ^ app as u64);
+        let validator = Validator::new(local_history(), 0xF163 ^ app as u64);
+        let sweep_seed = 0xF163u64 ^ ((app as u64) << 32);
         let mut points = Vec::new();
         for &d in densities {
+            // Same items, same item seeds at every density.
+            let per_item = par_map_seeded(
+                threads,
+                sweep_seed,
+                (0..per_point).collect(),
+                |i, seed, _| {
+                    let workload = validator.generate(app, i);
+                    // Exhaustive timing is only needed once per density point.
+                    validator.validate_item(seed, workload, d, i == 0)
+                },
+            );
             let mut samples = ErrorSamples::default();
-            for i in 0..per_point {
-                let workload = validator.generate(app, i + d * 100);
-                // Exhaustive timing is only needed once per density point.
-                validator.validate(workload, d, i == 0, &mut samples);
+            for s in &per_item {
+                samples.merge(s);
             }
             points.push(DensityPoint {
                 density: d,
@@ -107,8 +132,14 @@ pub fn run(scale: Scale) -> Fig3Result {
         "fig3",
         "density_sweep",
         &[
-            "app", "density", "p90_scale_up", "p90_hetero", "p90_interference", "profile_s",
-            "decide_us_4p", "decide_us_exh",
+            "app",
+            "density",
+            "p90_scale_up",
+            "p90_hetero",
+            "p90_interference",
+            "profile_s",
+            "decide_us_4p",
+            "decide_us_exh",
         ],
         &rows,
     );
@@ -118,11 +149,20 @@ pub fn run(scale: Scale) -> Fig3Result {
 
 impl fmt::Display for Fig3Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new("Fig.3 classification error (90th pct, %) and overheads vs matrix density")
-            .header([
-                "app", "density", "scale-up", "scale-out", "hetero", "interference",
-                "profile s", "decide 4p us", "decide exh us",
-            ]);
+        let mut t = TextTable::new(
+            "Fig.3 classification error (90th pct, %) and overheads vs matrix density",
+        )
+        .header([
+            "app",
+            "density",
+            "scale-up",
+            "scale-out",
+            "hetero",
+            "interference",
+            "profile s",
+            "decide 4p us",
+            "decide exh us",
+        ]);
         for (app, points) in &self.sweeps {
             for p in points {
                 t.row([

@@ -64,12 +64,24 @@ pub struct Fig5Result {
 impl Fig5Result {
     /// Mean speedup across jobs (the paper reports 29% average, up to 58%).
     pub fn mean_speedup_pct(&self) -> f64 {
-        mean(&self.jobs.iter().map(Fig5Job::speedup_pct).collect::<Vec<_>>())
+        mean(
+            &self
+                .jobs
+                .iter()
+                .map(Fig5Job::speedup_pct)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean distance of Quasar runs above their targets (paper: 5.8%).
     pub fn mean_target_gap(&self) -> f64 {
-        mean(&self.jobs.iter().map(Fig5Job::quasar_target_gap).collect::<Vec<_>>())
+        mean(
+            &self
+                .jobs
+                .iter()
+                .map(Fig5Job::quasar_target_gap)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// The Table 3 comparison for H8 (or the last job when fewer than
@@ -189,8 +201,15 @@ pub fn run(scale: Scale) -> Fig5Result {
 
 impl fmt::Display for Fig5Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new("Fig.5 single Hadoop jobs: Quasar vs Hadoop scheduler")
-            .header(["job", "target s", "hadoop s", "quasar s", "speedup %", "target dot %"]);
+        let mut t =
+            TextTable::new("Fig.5 single Hadoop jobs: Quasar vs Hadoop scheduler").header([
+                "job",
+                "target s",
+                "hadoop s",
+                "quasar s",
+                "speedup %",
+                "target dot %",
+            ]);
         for j in &self.jobs {
             t.row([
                 j.name.clone(),
@@ -209,8 +228,11 @@ impl fmt::Display for Fig5Result {
             self.mean_target_gap() * 100.0
         )?;
         if let Some((quasar, hadoop)) = self.table3() {
-            let mut t3 = TextTable::new("Table 3: parameter settings for H8")
-                .header(["parameter", "Quasar", "Hadoop"]);
+            let mut t3 = TextTable::new("Table 3: parameter settings for H8").header([
+                "parameter",
+                "Quasar",
+                "Hadoop",
+            ]);
             t3.row([
                 "mappers/node".to_string(),
                 quasar.mappers_per_node.to_string(),

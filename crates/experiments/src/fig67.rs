@@ -66,13 +66,22 @@ pub struct Fig67Result {
 impl Fig67Result {
     /// Mean speedup across all analytics jobs (paper: 27% average).
     pub fn mean_speedup_pct(&self) -> f64 {
-        mean(&self.jobs.iter().map(MixJob::speedup_pct).collect::<Vec<_>>())
+        mean(
+            &self
+                .jobs
+                .iter()
+                .map(MixJob::speedup_pct)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// The Fig. 7 report: utilization under both managers.
     pub fn utilization_report(&self) -> String {
-        let mut t = TextTable::new("Fig.7 cluster CPU utilization (busy phase)")
-            .header(["manager", "mean util %", "samples"]);
+        let mut t = TextTable::new("Fig.7 cluster CPU utilization (busy phase)").header([
+            "manager",
+            "mean util %",
+            "samples",
+        ]);
         for run in [&self.quasar, &self.baseline] {
             t.row([
                 run.manager.clone(),
@@ -84,11 +93,7 @@ impl Fig67Result {
     }
 }
 
-fn run_mix(
-    scale: Scale,
-    manager: Box<dyn quasar_cluster::Manager>,
-    manager_name: &str,
-) -> MixRun {
+fn run_mix(scale: Scale, manager: Box<dyn quasar_cluster::Manager>, manager_name: &str) -> MixRun {
     let (hadoop, storm, spark, best_effort) = match scale {
         Scale::Quick => (4, 1, 1, 20),
         Scale::Full => (16, 4, 4, 200),
@@ -111,7 +116,11 @@ fn run_mix(
         guaranteed.push(job.id());
         sim.submit_at(job, i as f64 * 5.0);
     }
-    for (i, job) in generator.best_effort_fill(best_effort).into_iter().enumerate() {
+    for (i, job) in generator
+        .best_effort_fill(best_effort)
+        .into_iter()
+        .enumerate()
+    {
         sim.submit_at(job, i as f64 * 1.0);
     }
 
@@ -136,7 +145,10 @@ fn run_mix(
         if record.best_effort {
             continue;
         }
-        let exec = record.finished_s.map(|f| f - record.submitted_s).unwrap_or(horizon);
+        let exec = record
+            .finished_s
+            .map(|f| f - record.submitted_s)
+            .unwrap_or(horizon);
         executions.insert(record.id, exec);
         if let Some(finish) = record.finished_s {
             busy_until = busy_until.max(finish);
@@ -208,7 +220,15 @@ pub fn run(scale: Scale) -> Fig67Result {
     let rows: Vec<Vec<f64>> = jobs
         .iter()
         .enumerate()
-        .map(|(i, j)| vec![i as f64, j.target_s, j.baseline_s, j.quasar_s, j.speedup_pct()])
+        .map(|(i, j)| {
+            vec![
+                i as f64,
+                j.target_s,
+                j.baseline_s,
+                j.quasar_s,
+                j.speedup_pct(),
+            ]
+        })
         .collect();
     write_csv(
         "fig6",
@@ -226,8 +246,16 @@ pub fn run(scale: Scale) -> Fig67Result {
 
 impl fmt::Display for Fig67Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new("Fig.6 shared analytics cluster: speedup vs framework schedulers")
-            .header(["job", "class", "target s", "baseline s", "quasar s", "speedup %"]);
+        let mut t =
+            TextTable::new("Fig.6 shared analytics cluster: speedup vs framework schedulers")
+                .header([
+                    "job",
+                    "class",
+                    "target s",
+                    "baseline s",
+                    "quasar s",
+                    "speedup %",
+                ]);
         for j in &self.jobs {
             t.row([
                 j.name.clone(),

@@ -124,8 +124,16 @@ fn run_day(scale: Scale, quasar: bool) -> RunOutput {
         Priority::Guaranteed,
     );
     let ids: Vec<(WorkloadId, &str, LoadPattern)> = vec![
-        (memcached.id(), "memcached", *memcached.load().expect("service")),
-        (cassandra.id(), "cassandra", *cassandra.load().expect("service")),
+        (
+            memcached.id(),
+            "memcached",
+            *memcached.load().expect("service"),
+        ),
+        (
+            cassandra.id(),
+            "cassandra",
+            *cassandra.load().expect("service"),
+        ),
     ];
     sim.submit_at(memcached, 0.0);
     sim.submit_at(cassandra, 60.0);
@@ -227,7 +235,12 @@ pub fn run(scale: Scale) -> Fig910Result {
                 .map(move |(h, off, ach)| vec![i as f64, *h, *off, *ach])
         })
         .collect();
-    write_csv("fig9", "hourly", &["trace", "hour", "offered", "achieved"], &rows);
+    write_csv(
+        "fig9",
+        "hourly",
+        &["trace", "hour", "offered", "achieved"],
+        &rows,
+    );
 
     Fig910Result {
         outcomes,
@@ -237,11 +250,14 @@ pub fn run(scale: Scale) -> Fig910Result {
 
 impl fmt::Display for Fig910Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new("Fig.9 stateful services over a diurnal day")
-            .header([
-                "service", "manager", "served %", "queries meeting QoS %",
-                "p99 median us", "p99 worst us",
-            ]);
+        let mut t = TextTable::new("Fig.9 stateful services over a diurnal day").header([
+            "service",
+            "manager",
+            "served %",
+            "queries meeting QoS %",
+            "p99 median us",
+            "p99 worst us",
+        ]);
         for o in &self.outcomes {
             t.row([
                 o.service.clone(),

@@ -70,22 +70,41 @@ pub fn ec2_history() -> &'static HistorySet {
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: [&str; 12] = [
-    "fig1", "fig2", "table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig11", "adaptation",
+    "fig1",
+    "fig2",
+    "table1",
+    "table2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig11",
+    "adaptation",
 ];
 
 /// Runs one experiment by id, returning its printed report.
+/// Equivalent to [`run_experiment_with`] at 1 thread.
 ///
 /// `"fig7"` reruns the Fig. 6 scenario and prints its utilization view;
 /// `"fig9"` also covers Fig. 10 (same 24-hour run), and `"fig5"` also
 /// prints Table 3. Unknown ids return `None`.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
+    run_experiment_with(id, scale, 1)
+}
+
+/// [`run_experiment`] with an explicit worker-thread count for the
+/// experiments that fan out over the deterministic parallel runner
+/// (`table2`, `fig2`, `fig3`). The report text is bit-identical for
+/// every `threads` value; other experiments ignore the knob.
+pub fn run_experiment_with(id: &str, scale: Scale, threads: usize) -> Option<String> {
     let out = match id {
         "fig1" => fig1::run(scale).to_string(),
-        "fig2" => fig2::run(scale).to_string(),
+        "fig2" => fig2::run_with(scale, threads).to_string(),
         "table1" => fig2::table1(),
-        "table2" => table2::run(scale).to_string(),
-        "fig3" => fig3::run(scale).to_string(),
+        "table2" => table2::run_with(scale, threads).to_string(),
+        "fig3" => fig3::run_with(scale, threads).to_string(),
         "fig5" | "table3" => fig5::run(scale).to_string(),
         "fig6" => fig67::run(scale).to_string(),
         "fig7" => fig67::run(scale).utilization_report(),

@@ -1,11 +1,23 @@
 //! CLI for the Quasar reproduction experiments.
 //!
 //! ```text
-//! quasar-experiments <id>... [--full]
-//! quasar-experiments all [--full]
+//! quasar-experiments <id>... [--full] [--threads N]
+//! quasar-experiments all [--full] [--threads N]
 //! ```
+//!
+//! `--threads N` sets the worker count for experiments that fan out
+//! over the deterministic parallel runner (default: the machine's
+//! available parallelism; `--threads 1` forces the serial path). The
+//! printed reports are bit-identical for every thread count.
 
-use quasar_experiments::{run_experiment, Scale, EXPERIMENT_IDS};
+use quasar_core::par::available_threads;
+use quasar_experiments::{run_experiment_with, Scale, EXPERIMENT_IDS};
+
+fn usage() -> ! {
+    eprintln!("usage: quasar-experiments <id>... [--full] [--threads N]");
+    eprintln!("ids: all {}", EXPERIMENT_IDS.join(" "));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,11 +26,34 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut threads = available_threads();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => {}
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        usage()
+                    });
+            }
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag: {a}");
+                usage();
+            }
+            a => ids.push(a.to_string()),
+        }
+        i += 1;
+    }
     if ids.is_empty() {
-        eprintln!("usage: quasar-experiments <id>... [--full]");
-        eprintln!("ids: all {}", EXPERIMENT_IDS.join(" "));
-        std::process::exit(2);
+        usage();
     }
 
     let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
@@ -29,11 +64,22 @@ fn main() {
 
     for id in selected {
         let started = std::time::Instant::now();
-        match run_experiment(id, scale) {
+        match run_experiment_with(id, scale, threads) {
             Some(report) => {
-                println!("###### {id} ({:?}) ######", scale);
+                // Results go to stdout; run diagnostics (thread count,
+                // wall clock) to stderr, so result stdout can be diffed
+                // across `--threads` values. Reports whose columns are
+                // pure functions of the seed (e.g. table2) are
+                // byte-identical for every thread count; reports that
+                // print live decision-time measurements (fig3) vary in
+                // those columns only.
+                eprintln!("[{id}: {scale:?}, {threads} threads]");
+                println!("###### {id} ({scale:?}) ######");
                 println!("{report}");
-                println!("[{id} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "[{id} completed in {:.1}s]",
+                    started.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment id: {id}");

@@ -19,7 +19,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -84,7 +84,11 @@ impl TextTable {
         };
         if !self.header.is_empty() {
             let _ = writeln!(out, "{}", fmt_row(&self.header));
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+            );
         }
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row));

@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use quasar_core::par::par_map_seeded;
+
 use crate::report::{maximum, mean, percentile, TextTable};
 use crate::validate::{AppClass, ErrorSamples, Validator};
 use crate::{local_history, Scale};
@@ -74,8 +76,16 @@ impl Table2Result {
     }
 }
 
-/// Runs the validation.
+/// Runs the validation serially (equivalent to `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Table2Result {
+    run_with(scale, 1)
+}
+
+/// Runs the validation, fanning workloads out over up to `threads`
+/// workers. Each workload item is validated in its own twin worlds with
+/// RNG streams seeded from `(sweep seed, item index)` alone, so the
+/// result is bit-identical for every thread count.
+pub fn run_with(scale: Scale, threads: usize) -> Table2Result {
     let per_class = match scale {
         Scale::Quick => 6,
         Scale::Full => 10,
@@ -84,7 +94,7 @@ pub fn run(scale: Scale) -> Table2Result {
         Scale::Quick => 20,
         Scale::Full => 413,
     };
-    let mut validator = Validator::new(local_history(), 0x7AB2);
+    let validator = Validator::new(local_history(), 0x7AB2);
 
     let classes = [
         (AppClass::Hadoop, per_class),
@@ -95,10 +105,14 @@ pub fn run(scale: Scale) -> Table2Result {
 
     let mut rows = Vec::new();
     for (app, count) in classes {
-        let mut samples = ErrorSamples::default();
-        for i in 0..count {
+        let sweep_seed = 0x7AB2u64 ^ ((app as u64) << 32);
+        let per_item = par_map_seeded(threads, sweep_seed, (0..count).collect(), |i, seed, _| {
             let workload = validator.generate(app, i);
-            validator.validate(workload, 2, true, &mut samples);
+            validator.validate_item(seed, workload, 2, true)
+        });
+        let mut samples = ErrorSamples::default();
+        for s in &per_item {
+            samples.merge(s);
         }
         rows.push(Table2Row {
             app: format!("{} ({count})", app.name()),
@@ -120,17 +134,16 @@ pub fn run(scale: Scale) -> Table2Result {
 
 impl fmt::Display for Table2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new(
-            "Table 2: classification errors (relative, %) — avg / 90th / max",
-        )
-        .header([
-            "app",
-            "scale-up",
-            "scale-out",
-            "heterogeneity",
-            "interference",
-            "exhaustive(8/row)",
-        ]);
+        let mut t =
+            TextTable::new("Table 2: classification errors (relative, %) — avg / 90th / max")
+                .header([
+                    "app",
+                    "scale-up",
+                    "scale-out",
+                    "heterogeneity",
+                    "interference",
+                    "exhaustive(8/row)",
+                ]);
         let cell = |s: &ErrorSummary| {
             format!(
                 "{:.1}/{:.1}/{:.1}",
@@ -143,7 +156,10 @@ impl fmt::Display for Table2Result {
             t.row([
                 r.app.clone(),
                 cell(&r.scale_up),
-                r.scale_out.as_ref().map(&cell).unwrap_or_else(|| "-".into()),
+                r.scale_out
+                    .as_ref()
+                    .map(&cell)
+                    .unwrap_or_else(|| "-".into()),
                 cell(&r.hetero),
                 cell(&r.interference),
                 cell(&r.exhaustive),
@@ -157,6 +173,29 @@ impl fmt::Display for Table2Result {
 mod tests {
     use super::*;
 
+    /// Sweep-level determinism: validating a batch of workloads on 4
+    /// worker threads produces bit-identical error samples to 1 thread.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let validator = Validator::new(local_history(), 0x7AB2);
+        let sweep = |threads: usize| {
+            par_map_seeded(threads, 0xD15C, (0..6).collect(), |i, seed, _| {
+                let workload = validator.generate(AppClass::SingleNode, i);
+                validator.validate_item(seed, workload, 2, false)
+            })
+        };
+        let serial = sweep(1);
+        let parallel = sweep(4);
+        assert_eq!(serial.len(), parallel.len());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(bits(&s.scale_up), bits(&p.scale_up));
+            assert_eq!(bits(&s.hetero), bits(&p.hetero));
+            assert_eq!(bits(&s.interference), bits(&p.interference));
+            assert_eq!(bits(&s.profile_wall_s), bits(&p.profile_wall_s));
+        }
+    }
+
     #[test]
     fn classification_errors_are_small() {
         let r = run(Scale::Quick);
@@ -167,7 +206,11 @@ mod tests {
         // is that every classification is usefully accurate and that the
         // well-structured axes (heterogeneity, interference) are tight.
         let worst = r.worst_parallel_avg();
-        assert!(worst < 0.55, "worst avg parallel error {:.1}%", worst * 100.0);
+        assert!(
+            worst < 0.55,
+            "worst avg parallel error {:.1}%",
+            worst * 100.0
+        );
         for row in &r.rows {
             assert!(
                 row.hetero.avg < 0.25,

@@ -4,13 +4,23 @@
 //! the estimates are then compared column-by-column against ground truth
 //! measured in a *noiseless* twin world. Errors are relative, in speed
 //! space for performance axes and in pressure space for interference.
+//!
+//! The harness is split so experiment sweeps can fan items out over the
+//! deterministic parallel runner ([`quasar_core::par`]): the
+//! [`Validator`] itself is an immutable shared core (`&self` only), and
+//! each validated workload gets its *own* twin worlds and RNG streams,
+//! seeded purely from the item seed the caller derives via
+//! [`quasar_core::par::derive_seed`]. One item's results therefore never
+//! depend on which other items ran, in what order, or on how many
+//! threads — `--threads N` is bit-identical to `--threads 1`.
 
 use std::collections::HashMap;
 
 use quasar_cf::DenseMatrix;
 use quasar_cluster::{managers::NullManager, ClusterSpec, ProfileConfig, SimConfig, Simulation};
 use quasar_core::{
-    history::ln_speed, Axes, Classifier, ExhaustiveClassifier, GoalKind, HistorySet, Profiler,
+    history::ln_speed, par::derive_seed, Axes, Classifier, ExhaustiveClassifier, GoalKind,
+    HistorySet, Profiler,
 };
 use quasar_workloads::generate::Generator;
 use quasar_workloads::{
@@ -42,17 +52,31 @@ pub struct ErrorSamples {
     pub decide_us_exhaustive: Vec<f64>,
 }
 
-/// The validation harness: twin worlds plus offline histories for both the
-/// four-parallel and the exhaustive schemes.
+impl ErrorSamples {
+    /// Appends all of `other`'s samples. Sweeps run items in parallel
+    /// and merge per-item samples *in item order*, so the merged vectors
+    /// are identical to what a serial loop would have produced.
+    pub fn merge(&mut self, other: &ErrorSamples) {
+        self.scale_up.extend_from_slice(&other.scale_up);
+        self.scale_out.extend_from_slice(&other.scale_out);
+        self.hetero.extend_from_slice(&other.hetero);
+        self.interference.extend_from_slice(&other.interference);
+        self.exhaustive.extend_from_slice(&other.exhaustive);
+        self.profile_wall_s.extend_from_slice(&other.profile_wall_s);
+        self.decide_us_parallel
+            .extend_from_slice(&other.decide_us_parallel);
+        self.decide_us_exhaustive
+            .extend_from_slice(&other.decide_us_exhaustive);
+    }
+}
+
+/// The validation harness: offline histories for both the four-parallel
+/// and the exhaustive schemes, shared immutably across parallel items.
 pub struct Validator {
-    noisy: Simulation,
-    truth: Simulation,
     history: &'static HistorySet,
     classifier: Classifier,
     exhaustive: ExhaustiveClassifier,
     exhaustive_history: HashMap<GoalKind, DenseMatrix>,
-    rng: StdRng,
-    next_id: u64,
 }
 
 /// The application classes validated in Table 2.
@@ -80,10 +104,16 @@ impl AppClass {
     }
 }
 
-impl Validator {
-    /// Builds the harness for the local catalog, reusing the shared
-    /// offline history and bootstrapping a joint exhaustive history.
-    pub fn new(history: &'static HistorySet, seed: u64) -> Validator {
+/// One item's private mutable state: twin worlds plus RNG streams, all
+/// derived from the item seed alone.
+struct ItemWorlds {
+    noisy: Simulation,
+    truth: Simulation,
+    rng: StdRng,
+}
+
+impl ItemWorlds {
+    fn new(item_seed: u64) -> ItemWorlds {
         let catalog = PlatformCatalog::local();
         let mk_sim = |noise: f64, s: u64| {
             Simulation::new(
@@ -96,18 +126,39 @@ impl Validator {
                 },
             )
         };
-        let noisy = mk_sim(0.03, seed);
-        let truth = mk_sim(0.0, seed ^ 1);
+        ItemWorlds {
+            noisy: mk_sim(0.03, derive_seed(item_seed, 1)),
+            truth: mk_sim(0.0, derive_seed(item_seed, 2)),
+            rng: StdRng::seed_from_u64(derive_seed(item_seed, 3)),
+        }
+    }
+
+    /// Submits the same workload into both twin worlds, re-keyed to a
+    /// fixed private id so generated ids never collide with anything.
+    fn submit_twin(&mut self, workload: Workload) -> WorkloadId {
+        let workload = rekey(workload, 1_000_000);
+        let id = workload.id();
+        let at = self.noisy.world().now();
+        self.noisy.submit_at(workload.clone(), at);
+        self.truth.submit_at(workload, self.truth.world().now());
+        let t1 = self.noisy.world().now() + self.noisy.world().tick_s();
+        let t2 = self.truth.world().now() + self.truth.world().tick_s();
+        self.noisy.run_until(t1);
+        self.truth.run_until(t2);
+        id
+    }
+}
+
+impl Validator {
+    /// Builds the harness for the local catalog, reusing the shared
+    /// offline history and bootstrapping a joint exhaustive history.
+    pub fn new(history: &'static HistorySet, seed: u64) -> Validator {
         let exhaustive = ExhaustiveClassifier::new(history.axes());
         let mut v = Validator {
-            noisy,
-            truth,
             history,
             classifier: Classifier::new(),
             exhaustive,
             exhaustive_history: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0xE8),
-            next_id: 1_000_000,
         };
         v.bootstrap_exhaustive(seed ^ 0xBEEF);
         v
@@ -186,45 +237,36 @@ impl Validator {
         }
     }
 
-    /// Submits the same workload into both twin worlds, re-keyed to a
-    /// fresh id so repeated validations never collide.
-    fn submit_twin(&mut self, workload: Workload) -> WorkloadId {
-        let workload = rekey(workload, self.next_id);
-        self.next_id += 1;
-        let id = workload.id();
-        let at = self.noisy.world().now();
-        self.noisy.submit_at(workload.clone(), at);
-        self.truth.submit_at(workload, self.truth.world().now());
-        let t1 = self.noisy.world().now() + self.noisy.world().tick_s();
-        let t2 = self.truth.world().now() + self.truth.world().tick_s();
-        self.noisy.run_until(t1);
-        self.truth.run_until(t2);
-        id
-    }
-
-    /// Validates one workload at profiling density `d`, appending error
-    /// samples to `out`. `with_exhaustive` also runs the joint scheme (at
-    /// density 8 entries/row as in the paper's Table 2 note).
-    pub fn validate(
-        &mut self,
+    /// Validates one workload at profiling density `d` in its own pair
+    /// of twin worlds, returning its error samples. `with_exhaustive`
+    /// also runs the joint scheme (at density 8 entries/row as in the
+    /// paper's Table 2 note).
+    ///
+    /// Pure in `(self, item_seed, workload, d, with_exhaustive)`: safe
+    /// to fan out over threads with per-item seeds from
+    /// [`derive_seed`]`(sweep_seed, item_index)`.
+    pub fn validate_item(
+        &self,
+        item_seed: u64,
         workload: Workload,
         d: usize,
         with_exhaustive: bool,
-        out: &mut ErrorSamples,
-    ) {
-        let id = self.submit_twin(workload);
+    ) -> ErrorSamples {
+        let mut out = ErrorSamples::default();
+        let mut worlds = ItemWorlds::new(item_seed);
+        let id = worlds.submit_twin(workload);
         let axes: Axes = self.history.axes().clone();
-        let kind = GoalKind::of(&self.noisy.world().spec(id).target);
+        let kind = GoalKind::of(&worlds.noisy.world().spec(id).target);
 
         // Profile sparsely in the noisy world and classify.
-        let mut profiler = Profiler::new(d, rand::Rng::random::<u64>(&mut self.rng));
-        let data = profiler.profile(self.noisy.world_mut(), &axes, id);
+        let mut profiler = Profiler::new(d, derive_seed(item_seed, 4));
+        let data = profiler.profile(worlds.noisy.world_mut(), &axes, id);
         out.profile_wall_s.push(data.wall_seconds);
         let (class, wall_us) = self.classifier.classify_timed(self.history, &data);
         out.decide_us_parallel.push(wall_us);
 
         // Ground truth per axis from the noiseless twin.
-        let truth = self.truth.world_mut();
+        let truth = worlds.truth.world_mut();
         for (col, res) in axes.scale_up.iter().enumerate() {
             let config = ProfileConfig::single(axes.ref_platform, *res);
             let act = kind.to_speed(truth.profile_config(id, &config).value);
@@ -252,29 +294,42 @@ impl Validator {
         }
 
         if with_exhaustive {
-            self.validate_exhaustive(id, kind, out);
+            self.validate_exhaustive(&mut worlds, id, kind, &mut out);
         }
+        out
     }
 
     /// Runs the single exhaustive classification at 8 entries/row and
     /// scores it against joint-column ground truth.
-    fn validate_exhaustive(&mut self, id: WorkloadId, kind: GoalKind, out: &mut ErrorSamples) {
+    fn validate_exhaustive(
+        &self,
+        worlds: &mut ItemWorlds,
+        id: WorkloadId,
+        kind: GoalKind,
+        out: &mut ErrorSamples,
+    ) {
         let axes = self.history.axes().clone();
         let cols = self.joint_columns(kind);
-        let history = self.exhaustive_history[&kind].clone();
+        let history = &self.exhaustive_history[&kind];
 
         let picks: Vec<usize> = (0..cols.len()).collect();
         let picks: Vec<usize> = picks
-            .choose_multiple(&mut self.rng, 8.min(cols.len()))
+            .choose_multiple(&mut worlds.rng, 8.min(cols.len()))
             .copied()
             .collect();
         let mut observed = Vec::new();
         for &ci in &picks {
-            let v = profile_joint(self.noisy.world_mut(), &axes, &self.exhaustive, id, cols[ci]);
+            let v = profile_joint(
+                worlds.noisy.world_mut(),
+                &axes,
+                &self.exhaustive,
+                id,
+                cols[ci],
+            );
             observed.push((ci, ln_speed(kind, v)));
         }
         let t0 = std::time::Instant::now();
-        let row = self.exhaustive.classify_row(&history, &observed);
+        let row = self.exhaustive.classify_row(history, &observed);
         out.decide_us_exhaustive
             .push(t0.elapsed().as_secs_f64() * 1e6);
 
@@ -283,12 +338,12 @@ impl Validator {
         // nothing statistically).
         let eval: Vec<usize> = (0..cols.len()).collect();
         let eval: Vec<usize> = eval
-            .choose_multiple(&mut self.rng, 120.min(cols.len()))
+            .choose_multiple(&mut worlds.rng, 120.min(cols.len()))
             .copied()
             .collect();
         for ci in eval {
             let act = kind.to_speed(profile_joint(
-                self.truth.world_mut(),
+                worlds.truth.world_mut(),
                 &axes,
                 &self.exhaustive,
                 id,
@@ -298,8 +353,11 @@ impl Validator {
         }
     }
 
-    /// Generates a test workload of the given application class.
-    pub fn generate(&mut self, app: AppClass, index: usize) -> Workload {
+    /// Generates the `index`-th test workload of the given application
+    /// class. Pure in `(app, index)` — the generator is seeded from the
+    /// index alone, so sweeps can regenerate the *same* workload for
+    /// paired comparisons (e.g. across matrix densities in Fig. 3).
+    pub fn generate(&self, app: AppClass, index: usize) -> Workload {
         let catalog = PlatformCatalog::local();
         let mut generator = Generator::new(catalog, 0xAB0 + index as u64 * 7919);
         // Burn ids so twin submissions stay unique across workloads.
@@ -348,11 +406,7 @@ impl Validator {
 pub fn rekey(workload: Workload, id: u64) -> Workload {
     let mut spec = workload.spec().clone();
     spec.id = WorkloadId(id);
-    Workload::new(
-        spec,
-        workload.model().clone(),
-        workload.load().copied(),
-    )
+    Workload::new(spec, workload.model().clone(), workload.load().copied())
 }
 
 fn rel_err(est: f64, act: f64) -> f64 {
@@ -368,7 +422,7 @@ fn profile_joint(
     col: usize,
 ) -> f64 {
     let (p, su, so) = exhaustive.columns()[col];
-    let config = ProfileConfig::single(axes.platforms[p], axes.scale_up[su])
-        .with_nodes(axes.scale_out[so]);
+    let config =
+        ProfileConfig::single(axes.platforms[p], axes.scale_up[su]).with_nodes(axes.scale_out[so]);
     world.profile_config(id, &config).value
 }

@@ -166,7 +166,10 @@ mod tests {
             );
             last = pen;
         }
-        assert!(last <= 0.05 + 1e-12, "uniform full pressure reaches the floor");
+        assert!(
+            last <= 0.05 + 1e-12,
+            "uniform full pressure reaches the floor"
+        );
     }
 
     #[test]

@@ -7,9 +7,8 @@ use quasar_interference::{
 };
 
 fn pressure_vec() -> impl Strategy<Value = PressureVector> {
-    proptest::collection::vec(0.0..100.0f64, 10).prop_map(|vals| {
-        PressureVector::from_fn(|r| vals[r.index()])
-    })
+    proptest::collection::vec(0.0..100.0f64, 10)
+        .prop_map(|vals| PressureVector::from_fn(|r| vals[r.index()]))
 }
 
 proptest! {

@@ -151,7 +151,11 @@ impl fmt::Display for FrameworkParams {
         write!(
             f,
             "{} mappers/node, {:.2}GB heap, {}MB blocks, {}x repl, {}",
-            self.mappers_per_node, self.heap_gb, self.block_size_mb, self.replication, self.compression
+            self.mappers_per_node,
+            self.heap_gb,
+            self.block_size_mb,
+            self.replication,
+            self.compression
         )
     }
 }

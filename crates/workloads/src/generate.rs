@@ -75,7 +75,10 @@ impl Generator {
         base_duration_s: f64,
         priority: Priority,
     ) -> Workload {
-        assert!(class.is_batch() && class.is_distributed(), "analytics jobs are distributed batch");
+        assert!(
+            class.is_batch() && class.is_distributed(),
+            "analytics jobs are distributed batch"
+        );
         let mut model = BatchModel::sample(dataset.clone(), true, &mut self.rng);
         model.calibrate_work(self.catalog.highest_end(), ref_nodes, base_duration_s);
         let target_s = best_batch_completion(&self.catalog, &model, ref_nodes);
@@ -144,19 +147,18 @@ impl Generator {
         load: LoadPattern,
         priority: Priority,
     ) -> Workload {
-        assert!(class.is_latency_critical(), "services must be latency-critical");
+        assert!(
+            class.is_latency_critical(),
+            "services must be latency-critical"
+        );
         let (dataset, disk_bound, latency_us) = match class {
             WorkloadClass::Memcached => {
                 let mixes = Dataset::memcached_catalog();
                 let pick = self.rng.random_range(0..mixes.len());
                 (mixes[pick].clone(), false, 200.0)
             }
-            WorkloadClass::Cassandra => {
-                (Dataset::new("kv-disk", 2.0, 1.0), true, 30_000.0)
-            }
-            WorkloadClass::Webserver => {
-                (Dataset::new("hotcrp", 5.0, 3.0), false, 100_000.0)
-            }
+            WorkloadClass::Cassandra => (Dataset::new("kv-disk", 2.0, 1.0), true, 30_000.0),
+            WorkloadClass::Webserver => (Dataset::new("hotcrp", 5.0, 3.0), false, 100_000.0),
             _ => unreachable!("checked latency-critical above"),
         };
         let model = ServiceModel::sample(dataset.clone(), state_gb, disk_bound, &mut self.rng);
@@ -182,15 +184,14 @@ impl Generator {
     /// `duration_scale` (experiments shrink the paper's 2–20 hour jobs to
     /// keep simulated time tractable without changing the shape).
     pub fn mahout_suite_scaled(&mut self, n: usize, duration_scale: f64) -> Vec<Workload> {
-        let sizes = [2.1, 10.0, 20.0, 55.0, 100.0, 180.0, 300.0, 450.0, 700.0, 900.0];
+        let sizes = [
+            2.1, 10.0, 20.0, 55.0, 100.0, 180.0, 300.0, 450.0, 700.0, 900.0,
+        ];
         (0..n)
             .map(|i| {
                 let size = sizes[i % sizes.len()];
-                let dataset = Dataset::new(
-                    format!("mahout-{i}"),
-                    size,
-                    self.rng.random_range(0.6..1.6),
-                );
+                let dataset =
+                    Dataset::new(format!("mahout-{i}"), size, self.rng.random_range(0.6..1.6));
                 // Paper jobs take 2–20 hours; duration scales with size.
                 let duration = (7_200.0 + 64.8 * size) * duration_scale;
                 // Targets are defined at the node count stock Hadoop
@@ -214,11 +215,8 @@ impl Generator {
         let mut jobs = Vec::new();
         for i in 0..hadoop {
             let size = self.rng.random_range(5.0..120.0);
-            let dataset = Dataset::new(
-                format!("mahout-{i}"),
-                size,
-                self.rng.random_range(0.6..1.6),
-            );
+            let dataset =
+                Dataset::new(format!("mahout-{i}"), size, self.rng.random_range(0.6..1.6));
             let duration = self.rng.random_range(1_800.0..7_200.0);
             let ref_nodes = crate::framework::hadoop_wave_nodes(size);
             jobs.push(self.analytics_job(
@@ -232,11 +230,8 @@ impl Generator {
         }
         for i in 0..storm {
             let size = self.rng.random_range(2.0..30.0);
-            let dataset = Dataset::new(
-                format!("stream-{i}"),
-                size,
-                self.rng.random_range(0.8..1.8),
-            );
+            let dataset =
+                Dataset::new(format!("stream-{i}"), size, self.rng.random_range(0.8..1.8));
             let duration = self.rng.random_range(1_800.0..5_400.0);
             let ref_nodes = crate::framework::hadoop_wave_nodes(size).min(4);
             jobs.push(self.analytics_job(
@@ -250,11 +245,7 @@ impl Generator {
         }
         for i in 0..spark {
             let size = self.rng.random_range(5.0..60.0);
-            let dataset = Dataset::new(
-                format!("rdd-{i}"),
-                size,
-                self.rng.random_range(0.6..1.4),
-            );
+            let dataset = Dataset::new(format!("rdd-{i}"), size, self.rng.random_range(0.6..1.4));
             let duration = self.rng.random_range(1_800.0..5_400.0);
             let ref_nodes = crate::framework::hadoop_wave_nodes(size).min(4);
             jobs.push(self.analytics_job(
@@ -299,7 +290,14 @@ impl Generator {
                         self.rng.random_range(0.6..1.6),
                     );
                     let duration = self.rng.random_range(1_200.0..5_400.0);
-                    self.analytics_job(class, format!("A{i}"), dataset, 4, duration, Priority::Guaranteed)
+                    self.analytics_job(
+                        class,
+                        format!("A{i}"),
+                        dataset,
+                        4,
+                        duration,
+                        Priority::Guaranteed,
+                    )
                 } else if dice < 0.28 {
                     let class = match self.rng.random_range(0..3) {
                         0 => WorkloadClass::Memcached,
@@ -337,7 +335,13 @@ fn best_batch_completion(catalog: &PlatformCatalog, model: &BatchModel, nodes: u
     let mut best = f64::INFINITY;
     for platform in catalog.iter() {
         let allocs: Vec<_> = (0..nodes)
-            .map(|_| (platform, NodeResources::all_of(platform), PressureVector::zero()))
+            .map(|_| {
+                (
+                    platform,
+                    NodeResources::all_of(platform),
+                    PressureVector::zero(),
+                )
+            })
             .collect();
         for params in FrameworkParams::search_space() {
             if let Some(t) = model.completion_time(model.total_work(), &allocs, &params) {
@@ -420,7 +424,10 @@ mod tests {
         let mut g = Generator::new(PlatformCatalog::ec2(), 11);
         let fleet = g.mixed_fleet(120);
         assert_eq!(fleet.len(), 120);
-        let services = fleet.iter().filter(|w| w.spec().class.is_latency_critical()).count();
+        let services = fleet
+            .iter()
+            .filter(|w| w.spec().class.is_latency_critical())
+            .count();
         let analytics = fleet
             .iter()
             .filter(|w| w.spec().class.is_batch() && w.spec().class.is_distributed())
@@ -439,7 +446,9 @@ mod tests {
         let jobs = g.batch_mix(16, 4, 4);
         assert_eq!(jobs.len(), 24);
         assert_eq!(
-            jobs.iter().filter(|j| j.spec().class == WorkloadClass::Storm).count(),
+            jobs.iter()
+                .filter(|j| j.spec().class == WorkloadClass::Storm)
+                .count(),
             4
         );
     }

@@ -106,7 +106,9 @@ impl LoadPattern {
                 ..
             } => base_qps + amplitude_qps.abs(),
             LoadPattern::Spike {
-                base_qps, spike_qps, ..
+                base_qps,
+                spike_qps,
+                ..
             } => base_qps.max(spike_qps),
             LoadPattern::Diurnal { peak_qps, .. } => peak_qps,
         }

@@ -62,11 +62,7 @@ impl BatchModel {
     /// `distributed` selects analytics-style priors (wide scale-out range,
     /// I/O fractions that make compression matter) versus single-node
     /// priors.
-    pub fn sample<R: Rng + ?Sized>(
-        dataset: Dataset,
-        distributed: bool,
-        rng: &mut R,
-    ) -> BatchModel {
+    pub fn sample<R: Rng + ?Sized>(dataset: Dataset, distributed: bool, rng: &mut R) -> BatchModel {
         let priors = if distributed {
             Priors {
                 alpha: (0.55, 0.95),
@@ -90,7 +86,8 @@ impl BatchModel {
             *l = rng.random_range(0.05..1.0);
         }
 
-        let working_set_gb = dataset.size_gb() * rng.random_range(priors.ws_fraction.0..=priors.ws_fraction.1);
+        let working_set_gb =
+            dataset.size_gb() * rng.random_range(priors.ws_fraction.0..=priors.ws_fraction.1);
 
         // Interference: an archetype mixture (see `sample_interference`),
         // giving the profile matrix the low-rank structure CF exploits.
@@ -128,7 +125,13 @@ impl BatchModel {
         assert!(duration_s > 0.0, "duration must be positive");
         self.total_work = 1.0;
         let allocs: Vec<(&Platform, NodeResources, PressureVector)> = (0..nodes)
-            .map(|_| (platform, NodeResources::all_of(platform), PressureVector::zero()))
+            .map(|_| {
+                (
+                    platform,
+                    NodeResources::all_of(platform),
+                    PressureVector::zero(),
+                )
+            })
             .collect();
         let rate = self.cluster_rate(&allocs, &FrameworkParams::default());
         self.total_work = rate * duration_s;
@@ -182,8 +185,7 @@ impl BatchModel {
         let useful_cores = res.cores.min(task_slots).min(self.parallel_limit).max(1) as f64;
         let core_factor = useful_cores.powf(self.alpha);
 
-        let ws_per_node =
-            self.working_set_gb / nodes_in_job.max(1) as f64 + self.fixed_memory_gb;
+        let ws_per_node = self.working_set_gb / nodes_in_job.max(1) as f64 + self.fixed_memory_gb;
         let mem_for_work = if self.uses_framework {
             // Framework tasks consume heap; what's left feeds the page
             // cache / working set.
@@ -204,7 +206,12 @@ impl BatchModel {
         };
 
         let penalty = self.interference.penalty(pressure);
-        speed * core_factor * mem_factor * framework_factor * penalty * self.dataset.complexity().recip()
+        speed
+            * core_factor
+            * mem_factor
+            * framework_factor
+            * penalty
+            * self.dataset.complexity().recip()
     }
 
     /// Effect of the framework parameters on per-node throughput.
@@ -294,7 +301,11 @@ mod tests {
     }
 
     fn alloc(platform: &Platform) -> (&Platform, NodeResources, PressureVector) {
-        (platform, NodeResources::all_of(platform), PressureVector::zero())
+        (
+            platform,
+            NodeResources::all_of(platform),
+            PressureVector::zero(),
+        )
     }
 
     #[test]
@@ -346,7 +357,13 @@ mod tests {
         let p = cat.highest_end();
         let m = model(3);
         let params = FrameworkParams::default();
-        let quiet = m.node_rate(p, NodeResources::all_of(p), &params, &PressureVector::zero(), 1);
+        let quiet = m.node_rate(
+            p,
+            NodeResources::all_of(p),
+            &params,
+            &PressureVector::zero(),
+            1,
+        );
         let noisy = m.node_rate(
             p,
             NodeResources::all_of(p),
@@ -393,13 +410,24 @@ mod tests {
             let m = model(seed);
             let rates: Vec<f64> = cat
                 .iter()
-                .map(|p| m.node_rate(p, NodeResources::all_of(p), &params, &PressureVector::zero(), 1))
+                .map(|p| {
+                    m.node_rate(
+                        p,
+                        NodeResources::all_of(p),
+                        &params,
+                        &PressureVector::zero(),
+                        1,
+                    )
+                })
                 .collect();
             let hi = rates.iter().cloned().fold(f64::MIN, f64::max);
             let lo = rates.iter().cloned().fold(f64::MAX, f64::min);
             max_spread = max_spread.max(hi / lo);
         }
-        assert!(max_spread > 4.0, "expected >4x heterogeneity spread, got {max_spread:.1}x");
+        assert!(
+            max_spread > 4.0,
+            "expected >4x heterogeneity spread, got {max_spread:.1}x"
+        );
     }
 
     #[test]

@@ -117,9 +117,15 @@ impl ServiceModel {
         // (200 µs memcached, 30 ms Cassandra): the knee of Fig. 2 exists
         // at a non-trivial load for every sampled instance.
         let (base_qps_per_core, service_time_us) = if disk_bound {
-            (rng.random_range(300.0..700.0), rng.random_range(2_000.0..6_000.0))
+            (
+                rng.random_range(300.0..700.0),
+                rng.random_range(2_000.0..6_000.0),
+            )
         } else {
-            (rng.random_range(15_000.0..35_000.0), rng.random_range(20.0..50.0))
+            (
+                rng.random_range(15_000.0..35_000.0),
+                rng.random_range(20.0..50.0),
+            )
         };
 
         ServiceModel {
@@ -191,10 +197,7 @@ impl ServiceModel {
     }
 
     /// Total capacity of a set of per-node allocations.
-    pub fn total_capacity(
-        &self,
-        allocs: &[(&Platform, NodeResources, PressureVector)],
-    ) -> f64 {
+    pub fn total_capacity(&self, allocs: &[(&Platform, NodeResources, PressureVector)]) -> f64 {
         let n = allocs.len();
         allocs
             .iter()

@@ -190,11 +190,7 @@ impl PlatformCatalog {
     pub fn highest_end(&self) -> &Platform {
         self.platforms
             .iter()
-            .max_by(|a, b| {
-                a.compute_capacity()
-                    .partial_cmp(&b.compute_capacity())
-                    .expect("capacities are finite")
-            })
+            .max_by(|a, b| a.compute_capacity().total_cmp(&b.compute_capacity()))
             .expect("catalog must be non-empty")
     }
 

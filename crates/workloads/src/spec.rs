@@ -63,7 +63,11 @@ impl WorkloadSpec {
 
 impl fmt::Display for WorkloadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {} -> {}", self.id, self.class, self.name, self.target)
+        write!(
+            f,
+            "{} [{}] {} -> {}",
+            self.id, self.class, self.name, self.target
+        )
     }
 }
 
@@ -159,7 +163,11 @@ mod tests {
     #[test]
     fn batch_workload_has_no_load() {
         let mut rng = StdRng::seed_from_u64(1);
-        let model = PerfModel::Batch(BatchModel::sample(Dataset::new("d", 10.0, 1.0), true, &mut rng));
+        let model = PerfModel::Batch(BatchModel::sample(
+            Dataset::new("d", 10.0, 1.0),
+            true,
+            &mut rng,
+        ));
         let w = Workload::new(batch_spec(1), model, None);
         assert_eq!(w.offered_qps(100.0), 0.0);
         assert!(w.model().as_batch().is_some());
@@ -192,14 +200,22 @@ mod tests {
             target: QosTarget::throughput(1000.0, 200.0),
             ..batch_spec(3)
         };
-        let model = PerfModel::Batch(BatchModel::sample(Dataset::new("d", 1.0, 1.0), true, &mut rng));
+        let model = PerfModel::Batch(BatchModel::sample(
+            Dataset::new("d", 1.0, 1.0),
+            true,
+            &mut rng,
+        ));
         Workload::new(spec, model, Some(LoadPattern::Flat { qps: 100.0 }));
     }
 
     #[test]
     fn cost_limit_builder_sets_the_cap() {
         let mut rng = StdRng::seed_from_u64(9);
-        let model = PerfModel::Batch(BatchModel::sample(Dataset::new("d", 4.0, 1.0), true, &mut rng));
+        let model = PerfModel::Batch(BatchModel::sample(
+            Dataset::new("d", 4.0, 1.0),
+            true,
+            &mut rng,
+        ));
         let w = Workload::new(batch_spec(9), model, None).with_cost_limit(1.5);
         assert_eq!(w.spec().cost_limit_per_hour, Some(1.5));
     }

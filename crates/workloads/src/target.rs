@@ -64,7 +64,10 @@ impl QosTarget {
             p99_latency_us.is_finite() && p99_latency_us > 0.0,
             "latency target must be positive"
         );
-        QosTarget::Throughput { qps, p99_latency_us }
+        QosTarget::Throughput {
+            qps,
+            p99_latency_us,
+        }
     }
 
     /// An instruction-rate target.
@@ -98,7 +101,10 @@ impl fmt::Display for QosTarget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             QosTarget::CompletionTime { seconds } => write!(f, "complete in {seconds:.0}s"),
-            QosTarget::Throughput { qps, p99_latency_us } => {
+            QosTarget::Throughput {
+                qps,
+                p99_latency_us,
+            } => {
                 write!(f, "{qps:.0} QPS @ p99 <= {p99_latency_us:.0}us")
             }
             QosTarget::Ips { ips } => write!(f, "{ips:.2e} IPS"),

@@ -6,8 +6,7 @@ use rand::SeedableRng;
 
 use quasar_interference::PressureVector;
 use quasar_workloads::{
-    BatchModel, Dataset, FrameworkParams, LoadPattern, NodeResources, PlatformCatalog,
-    ServiceModel,
+    BatchModel, Dataset, FrameworkParams, LoadPattern, NodeResources, PlatformCatalog, ServiceModel,
 };
 
 proptest! {

@@ -83,7 +83,10 @@ fn main() {
         "framework schedulers + least-loaded",
     );
     let (quasar, _) = run_trace(
-        Box::new(QuasarManager::with_history(history, QuasarConfig::default())),
+        Box::new(QuasarManager::with_history(
+            history,
+            QuasarConfig::default(),
+        )),
         "quasar",
     );
 
@@ -93,7 +96,7 @@ fn main() {
             speedups.push((base - q) / base * 100.0);
         }
     }
-    speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    speedups.sort_by(f64::total_cmp);
     let mean = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
     println!(
         "per-job execution-time reduction under quasar: mean {:.1}% (min {:.1}%, max {:.1}%)",

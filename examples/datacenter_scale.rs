@@ -65,7 +65,7 @@ fn main() {
         };
         scores.push(score);
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    scores.sort_by(f64::total_cmp);
 
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
     println!(

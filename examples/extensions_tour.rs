@@ -45,9 +45,15 @@ fn main() {
     // --- Cost targets (§4.4): "a user could also specify a cost
     //     constraint ... a limit for resource allocation". ---
     let (served, cores) = serve(QuasarConfig::default(), None, &history);
-    println!("unconstrained:    served {:5.1}% with up to {cores} cores", served * 100.0);
+    println!(
+        "unconstrained:    served {:5.1}% with up to {cores} cores",
+        served * 100.0
+    );
     let (served, cores) = serve(QuasarConfig::default(), Some(0.25), &history);
-    println!("capped at $0.25/h: served {:5.1}% with up to {cores} cores", served * 100.0);
+    println!(
+        "capped at $0.25/h: served {:5.1}% with up to {cores} cores",
+        served * 100.0
+    );
 
     // --- Predictive scaling (§4.1 future work). ---
     let (reactive, _) = serve(QuasarConfig::default(), None, &history);
@@ -65,7 +71,10 @@ fn main() {
         ..QuasarConfig::default()
     };
     let (served, _) = serve(partitioned, None, &history);
-    println!("with partitioning available: served {:5.1}%", served * 100.0);
+    println!(
+        "with partitioning available: served {:5.1}%",
+        served * 100.0
+    );
 
     // --- Fault tolerance (§4.4): master-slave mirroring. ---
     let manager = QuasarManager::with_history(history.clone(), QuasarConfig::default());

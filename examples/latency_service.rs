@@ -45,7 +45,10 @@ fn main() {
         sim.submit_at(filler, 30.0 + i as f64 * 20.0);
     }
 
-    println!("{:>6}  {:>9}  {:>9}  {:>7}  {:>9}", "t(min)", "offered", "achieved", "cores", "p99(us)");
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>7}  {:>9}",
+        "t(min)", "offered", "achieved", "cores", "p99(us)"
+    );
     let mut t = 0.0;
     while t < horizon {
         t += 300.0;
@@ -81,7 +84,15 @@ fn main() {
 
     // The decision journal explains how the spike was absorbed.
     println!("\nlast decisions for the service:");
-    for (t, event) in sim.world().journal().for_workload(id).iter().rev().take(8).rev() {
+    for (t, event) in sim
+        .world()
+        .journal()
+        .for_workload(id)
+        .iter()
+        .rev()
+        .take(8)
+        .rev()
+    {
         println!("  [{:>7.0}s] {event}", t);
     }
 }

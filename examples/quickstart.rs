@@ -66,7 +66,11 @@ fn main() {
 
     // --- Results ---
     let world = sim.world();
-    assert_eq!(world.state(job_id), JobState::Completed, "job should finish");
+    assert_eq!(
+        world.state(job_id),
+        JobState::Completed,
+        "job should finish"
+    );
     let record = world
         .completions()
         .into_iter()

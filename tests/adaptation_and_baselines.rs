@@ -123,10 +123,19 @@ fn autoscaler_follows_load_both_ways() {
     while t < 5_400.0 {
         t += 300.0;
         sim.run_until(t);
-        node_counts.push(sim.world().placement(id).map(|p| p.node_count()).unwrap_or(0));
+        node_counts.push(
+            sim.world()
+                .placement(id)
+                .map(|p| p.node_count())
+                .unwrap_or(0),
+        );
     }
     let max = *node_counts.iter().max().unwrap();
-    let min_after_peak = *node_counts.iter().skip(node_counts.len() / 2).min().unwrap();
+    let min_after_peak = *node_counts
+        .iter()
+        .skip(node_counts.len() / 2)
+        .min()
+        .unwrap();
     assert!(max > 1, "autoscaler must grow under load: {node_counts:?}");
     assert!(
         min_after_peak < max,

@@ -1,0 +1,201 @@
+//! A small, self-contained stand-in for the subset of `criterion` this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter`/
+//! `iter_batched`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be downloaded. This shim keeps the same source-level API and prints a
+//! median/min/max summary per benchmark: enough to compare throughput
+//! between configurations (e.g. serial vs parallel classification), not
+//! a statistics engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for parity with `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark harness handle passed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark time budget. Samples stop early when the
+    /// budget is exhausted.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        bencher.report(id);
+        self
+    }
+
+    /// Consumes queued group runners (called by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.samples.push(t0.elapsed());
+    }
+
+    /// Times `routine` on a fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        self.samples.push(t0.elapsed());
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = *self.samples.last().expect("non-empty");
+        println!(
+            "{id:40} median {:>12} min {:>12} max {:>12} ({} samples)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.samples.len(),
+        );
+        self.samples.clear();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group: either the struct-like form with `name`,
+/// `config`, and `targets`, or the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_passes_setup_output() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim_batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with("s"));
+    }
+}

@@ -1,0 +1,410 @@
+//! A small, self-contained stand-in for the subset of `proptest` this
+//! workspace uses: range/tuple/vec strategies, `prop_map`/`prop_flat_map`,
+//! `prop_oneof!`, `any`, `Just`, and the `proptest!` test macro.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be downloaded. This shim keeps the property-test semantics — run each
+//! test body over `cases` deterministically generated random inputs —
+//! but does not implement shrinking: a failing case panics with the
+//! generated inputs left to the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets this crate's own tests (and macro expansions inside them) refer to
+// `proptest::...` paths the way downstream users do.
+extern crate self as proptest;
+
+pub use rand;
+
+/// Strategies: composable generators of test inputs.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, SampleStandard};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value and samples
+        /// it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `any::<T>()` strategy: the full "standard" distribution of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Builds an [`Any`] strategy.
+    pub fn any<T: SampleStandard>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: SampleStandard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random()
+        }
+    }
+
+    /// A uniform choice between boxed alternative strategies (the
+    /// engine behind `prop_oneof!`).
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.random_range(0..self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_tuples! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive or fixed length specification.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with lengths drawn from a
+    /// [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How a `proptest!` block runs its cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The outcome of one generated case (see `prop_assume!`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum CaseResult {
+        /// The body ran to completion.
+        Pass,
+        /// The case was rejected by `prop_assume!` and is skipped.
+        Reject,
+    }
+
+    /// A stable per-test seed (FNV-1a of the test name) so runs are
+    /// reproducible without any environment plumbing.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The glob-importable API surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Runs each contained `fn name(binding in strategy, ...) { body }` over
+/// the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let run = || -> $crate::test_runner::CaseResult {
+                    $body
+                    $crate::test_runner::CaseResult::Pass
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniformly picks one of the listed strategies per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts inside a property body (panicking variant: no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let s = collection::vec(0.0..1.0f64, 3..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_all_bindings(
+            a in 0u64..10,
+            b in proptest::collection::vec((0usize..4, -1.0..1.0f64), 2..5),
+            c in any::<u64>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((2..5).contains(&b.len()));
+            for (i, f) in &b {
+                prop_assert!(*i < 4 && (-1.0..1.0).contains(f));
+            }
+            prop_assert_eq!(c, c);
+        }
+
+        #[test]
+        fn oneof_and_maps_compose(
+            v in prop_oneof![
+                (0u32..5).prop_map(|x| x as f64),
+                (10.0..11.0f64).prop_flat_map(|x| Just(x)),
+            ]
+        ) {
+            prop_assert!((0.0..5.0).contains(&v) || (10.0..11.0).contains(&v));
+        }
+    }
+}
