@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use quasar_cf::{DenseMatrix, Reconstructor};
 use quasar_cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar_core::par::available_threads;
 use quasar_core::{QuasarConfig, QuasarManager};
 use quasar_experiments::{fig11, fig3, local_history, Scale};
 use quasar_workloads::generate::Generator;
@@ -19,7 +20,7 @@ use quasar_workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass};
 fn joint_vs_decoupled(c: &mut Criterion) {
     c.bench_function("ablation_joint_vs_decoupled", |b| {
         b.iter(|| {
-            let r = fig11::run(Scale::Quick);
+            let r = fig11::run_with(Scale::Quick, available_threads());
             let q = r.run_named("quasar").map(|x| x.mean_normalized());
             let p = r
                 .run_named("reservation+paragon")
@@ -33,7 +34,9 @@ fn joint_vs_decoupled(c: &mut Criterion) {
 /// trade-off of the paper's central tuning knob.
 fn profiling_density(c: &mut Criterion) {
     c.bench_function("ablation_density_sweep", |b| {
-        b.iter(|| black_box(fig3::run(Scale::Quick).density_two_improves()))
+        b.iter(|| {
+            black_box(fig3::run_with(Scale::Quick, available_threads()).density_two_improves())
+        })
     });
 }
 

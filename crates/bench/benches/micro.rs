@@ -120,6 +120,21 @@ fn classification_parallelism(c: &mut Criterion) {
     }
 }
 
+fn pool_fan_out(c: &mut Criterion) {
+    // Dispatch latency of the persistent worker pool: fan 64 tiny items
+    // out over 4 workers. Before the pool persisted across calls, every
+    // par_map paid thread spawn+join (~100µs+ each) here; now the steady
+    // state is queue/condvar handoff only.
+    c.bench_function("par_map_64_tiny_items_threads_4", |b| {
+        let items: Vec<u64> = (0..64).collect();
+        b.iter(|| {
+            black_box(quasar_core::par::par_map(4, items.clone(), |i, v| {
+                v.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64
+            }))
+        })
+    });
+}
+
 fn greedy_planning(c: &mut Criterion) {
     use quasar_core::greedy::CandidateServer;
     let history = local_history();
@@ -190,6 +205,6 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
     targets = svd_of_history_sized_matrix, pq_reconstruction, profile_and_classify,
-        classification_parallelism, greedy_planning, simulation_tick
+        classification_parallelism, pool_fan_out, greedy_planning, simulation_tick
 }
 criterion_main!(micro);

@@ -1,6 +1,9 @@
 //! Row-major dense matrices.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::fingerprint::Fingerprint;
 
 /// A row-major dense matrix of `f64`.
 ///
@@ -18,11 +21,22 @@ use std::fmt;
 /// assert_eq!(m.get(0, 1), 5.0);
 /// assert_eq!(m.transpose().get(1, 0), 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+    /// Lazily-computed content fingerprint (see [`DenseMatrix::fingerprint`]),
+    /// reset by every mutation so it can never go stale.
+    fp: OnceLock<(u64, u64)>,
+}
+
+// Manual impl: the cached fingerprint is derived state and must not
+// participate in equality (a hashed and an unhashed copy are equal).
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &DenseMatrix) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl DenseMatrix {
@@ -37,6 +51,7 @@ impl DenseMatrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            fp: OnceLock::new(),
         }
     }
 
@@ -48,7 +63,12 @@ impl DenseMatrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> DenseMatrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         assert_eq!(data.len(), rows * cols, "data length must match shape");
-        DenseMatrix { rows, cols, data }
+        DenseMatrix {
+            rows,
+            cols,
+            data,
+            fp: OnceLock::new(),
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)`.
@@ -101,6 +121,26 @@ impl DenseMatrix {
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         self.data[row * self.cols + col] = value;
+        self.fp = OnceLock::new();
+    }
+
+    /// The matrix's cached 128-bit content fingerprint, as two 64-bit
+    /// digests over `(rows, cols, data)`.
+    ///
+    /// Computed on first call (O(rows × cols)) and memoized; any
+    /// mutation resets the memo, so repeated lookups against an
+    /// unchanged matrix — the row-reconstruction cache's access pattern
+    /// — cost an atomic load instead of a full rehash.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        *self.fp.get_or_init(|| {
+            let mut fp = Fingerprint::new();
+            fp.word(self.rows as u64);
+            fp.word(self.cols as u64);
+            for &v in &self.data {
+                fp.float(v);
+            }
+            fp.digests()
+        })
     }
 
     /// A view of row `row` as a slice.
@@ -233,6 +273,20 @@ mod tests {
     fn col_means_are_correct() {
         let m = DenseMatrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 20.0]);
         assert_eq!(m.col_means(), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_invalidated_by_mutation() {
+        let mut m = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let before = m.fingerprint();
+        assert_eq!(m.fingerprint(), before, "repeated reads are memoized");
+        assert_eq!(m.clone().fingerprint(), before, "clones hash identically");
+        m.set(2, 1, 99.0);
+        assert_ne!(m.fingerprint(), before, "mutation must reset the memo");
+        // Shape participates: same data length, different shape.
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0; 6]);
+        let b = DenseMatrix::from_vec(3, 2, vec![1.0; 6]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

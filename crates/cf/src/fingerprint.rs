@@ -1,0 +1,42 @@
+//! Dual-stream FNV-1a fingerprinting shared by the dense-matrix content
+//! cache and the row-reconstruction memo key.
+
+/// 128-bit FNV-1a-style fingerprint, fed 64-bit words. Two independent
+/// 64-bit streams keep the collision probability negligible for cache
+/// keys (a collision would silently return the wrong row, so 64 bits
+/// alone would be uncomfortable at millions of lookups).
+#[derive(Clone, Copy)]
+pub(crate) struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    pub(crate) fn new() -> Fingerprint {
+        Fingerprint {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    pub(crate) fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_0193);
+        }
+    }
+
+    pub(crate) fn float(&mut self, x: f64) {
+        self.word(x.to_bits());
+    }
+
+    /// The two stream digests, for callers that fold the fingerprint
+    /// into a larger key.
+    pub(crate) fn digests(self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    pub(crate) fn finish(self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}

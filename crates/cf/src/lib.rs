@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod dense;
+mod fingerprint;
 mod pq;
 mod reconstruct;
 mod sparse;

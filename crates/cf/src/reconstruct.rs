@@ -7,46 +7,31 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::dense::DenseMatrix;
+use crate::fingerprint::Fingerprint;
 use crate::pq::{PqModel, SgdConfig};
 use crate::sparse::SparseMatrix;
 
-/// Entries kept in the row-reconstruction memo before it is cleared.
-/// Experiments reuse a handful of history matrices across thousands of
-/// workloads, so a small bound captures nearly all the reuse.
+/// Entries kept in the row-reconstruction memo. Experiments reuse a
+/// handful of history matrices across thousands of workloads, so a
+/// small bound captures nearly all the reuse; past the cap the
+/// least-recently-used entry is evicted (an earlier version cleared the
+/// whole map, which collapsed the hit rate exactly when long density
+/// sweeps needed it most).
 const ROW_CACHE_CAP: usize = 1024;
 
-/// 128-bit FNV-1a-style fingerprint, fed 64-bit words. Two independent
-/// 64-bit streams keep the collision probability negligible for cache
-/// keys (a collision would silently return the wrong row, so 64 bits
-/// alone would be uncomfortable at millions of lookups).
-#[derive(Clone, Copy)]
-struct Fingerprint {
-    a: u64,
-    b: u64,
+/// A memoized row plus the logical time of its last use, for LRU
+/// eviction.
+#[derive(Debug)]
+struct CacheEntry {
+    row: Vec<f64>,
+    last_used: u64,
 }
 
-impl Fingerprint {
-    fn new() -> Fingerprint {
-        Fingerprint {
-            a: 0xcbf2_9ce4_8422_2325,
-            b: 0x6c62_272e_07bb_0142,
-        }
-    }
-
-    fn word(&mut self, w: u64) {
-        for byte in w.to_le_bytes() {
-            self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
-            self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_0193);
-        }
-    }
-
-    fn float(&mut self, x: f64) {
-        self.word(x.to_bits());
-    }
-
-    fn finish(self) -> u128 {
-        (u128::from(self.a) << 64) | u128::from(self.b)
-    }
+#[derive(Debug, Default)]
+struct RowCacheInner {
+    map: HashMap<u128, CacheEntry>,
+    /// Logical clock bumped on every lookup; drives `last_used`.
+    tick: u64,
 }
 
 /// Shared memo for [`Reconstructor::reconstruct_row`]. Reconstruction
@@ -56,7 +41,7 @@ impl Fingerprint {
 /// under the deterministic parallel runner.
 #[derive(Debug, Default)]
 struct RowCache {
-    map: Mutex<HashMap<u128, Vec<f64>>>,
+    inner: Mutex<RowCacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -205,23 +190,40 @@ impl Reconstructor {
             return Err(ReconstructError::Unanchored);
         }
         let key = self.row_key(history, target);
-        if let Some(row) = self
-            .row_cache
-            .map
-            .lock()
-            .expect("row cache poisoned")
-            .get(&key)
         {
-            self.row_cache.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(row.clone());
+            let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.row_cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.row.clone());
+            }
         }
         self.row_cache.misses.fetch_add(1, Ordering::Relaxed);
         let row = self.reconstruct_row_uncached(history, target)?;
-        let mut map = self.row_cache.map.lock().expect("row cache poisoned");
-        if map.len() >= ROW_CACHE_CAP {
-            map.clear();
+        let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= ROW_CACHE_CAP && !inner.map.contains_key(&key) {
+            // Evict only the least-recently-used entry. The O(cap) scan
+            // is negligible next to the SVD+SGD recompute a miss costs.
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&lru);
+            }
         }
-        map.insert(key, row.clone());
+        inner.map.insert(
+            key,
+            CacheEntry {
+                row: row.clone(),
+                last_used: tick,
+            },
+        );
         Ok(row)
     }
 
@@ -234,17 +236,15 @@ impl Reconstructor {
     }
 
     /// Fingerprints everything `reconstruct_row` depends on: matrix
-    /// shape and contents, the sparse target (its density and values),
-    /// the SGD hyper-parameters, and the clamping flag.
+    /// shape and contents (via the matrix's own memoized fingerprint, so
+    /// a lookup is O(target) instead of O(rows × cols)), the sparse
+    /// target (its density and values), the SGD hyper-parameters, and
+    /// the clamping flag.
     fn row_key(&self, history: &DenseMatrix, target: &[(usize, f64)]) -> u128 {
         let mut fp = Fingerprint::new();
-        fp.word(history.rows() as u64);
-        fp.word(history.cols() as u64);
-        for r in 0..history.rows() {
-            for c in 0..history.cols() {
-                fp.float(history.get(r, c));
-            }
-        }
+        let (ha, hb) = history.fingerprint();
+        fp.word(ha);
+        fp.word(hb);
         fp.word(target.len() as u64);
         for &(c, v) in target {
             fp.word(c as u64);
@@ -326,11 +326,16 @@ mod tests {
         a.insert(0, 1, 11.0);
         a.insert(0, 2, 12.0);
         let d = Reconstructor::new().reconstruct(&a);
-        let span = 3.0; // observed range 10..13 -> wait, range is 10..12
+        // Observed range is 10..=12 (span 2); clamping allows 25%
+        // headroom on each side, i.e. 0.5.
+        let headroom = 0.25 * 2.0;
         for r in 0..3 {
             for c in 0..3 {
                 let v = d.get(r, c);
-                assert!(v >= 10.0 - span && v <= 12.0 + span, "clamped value {v}");
+                assert!(
+                    v >= 10.0 - headroom && v <= 12.0 + headroom,
+                    "clamped value {v}"
+                );
             }
         }
     }
@@ -389,6 +394,43 @@ mod tests {
             "different matrices must both miss"
         );
         assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn row_cache_has_no_hit_rate_cliff_at_capacity() {
+        // Fig3-style access pattern: a long sweep inserts more distinct
+        // keys than ROW_CACHE_CAP, then revisits the most recent ones.
+        // Wholesale clear-at-cap used to wipe the whole working set the
+        // moment entry 1025 arrived; LRU keeps the recent tail resident.
+        let history = DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f64 + 1.0);
+        // One SGD epoch and rank 1: each miss must stay cheap, since
+        // this test performs ROW_CACHE_CAP + 100 of them.
+        let rec = Reconstructor::new().with_config(SgdConfig {
+            max_epochs: 1,
+            max_rank: 1,
+            ..SgdConfig::default()
+        });
+        let total = ROW_CACHE_CAP + 100;
+        for i in 0..total {
+            rec.reconstruct_row(&history, &[(0, i as f64 + 0.25)])
+                .unwrap();
+        }
+        let (hits_before, misses_before) = rec.row_cache_stats();
+        assert_eq!(hits_before, 0);
+        assert_eq!(misses_before, total as u64);
+        // Revisit the most recent ROW_CACHE_CAP - 76 targets (all inside
+        // the LRU window): every one must hit.
+        let revisit = ROW_CACHE_CAP - 76;
+        for i in (total - revisit)..total {
+            rec.reconstruct_row(&history, &[(0, i as f64 + 0.25)])
+                .unwrap();
+        }
+        let (hits, misses) = rec.row_cache_stats();
+        assert_eq!(
+            misses, misses_before,
+            "recently-inserted keys must survive crossing the capacity"
+        );
+        assert_eq!(hits, revisit as u64);
     }
 
     #[test]

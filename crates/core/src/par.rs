@@ -1,9 +1,8 @@
 //! Deterministic parallel execution.
 //!
-//! A fixed-size worker pool built on [`std::thread::scope`] that fans
-//! out independent items while guaranteeing **bit-identical output to
-//! serial execution regardless of thread count**. Two ingredients make
-//! this hold:
+//! A lazily-started **persistent worker pool** that fans out independent
+//! items while guaranteeing **bit-identical output to serial execution
+//! regardless of thread count**. Two ingredients make this hold:
 //!
 //! 1. Results are assembled by *item index*, never by completion order.
 //! 2. Any randomness an item needs comes from a private RNG stream
@@ -13,8 +12,15 @@
 //!
 //! With those two rules, `--threads 1` and `--threads N` produce the
 //! same bytes; parallelism only changes wall-clock time.
+//!
+//! Workers are spawned on first use, park on a condvar while idle, and
+//! are reused across [`par_map`] calls, so many-small-item sweeps do not
+//! pay thread-spawn latency on every fan-out (an earlier version built a
+//! fresh [`std::thread::scope`] pool per call). The submitting thread
+//! always participates in its own job, so a job makes progress even when
+//! every pooled worker is busy elsewhere (including nested `par_map`
+//! calls from inside a worker).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of worker threads to use by default: the machine's available
@@ -41,17 +47,26 @@ pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// `(workers currently alive, workers ever spawned)` in the persistent
+/// pool. The two are equal today (workers never exit); tests use the
+/// second to assert that consecutive [`par_map`] calls reuse the pool
+/// instead of spawning fresh threads.
+pub fn pool_status() -> (usize, u64) {
+    pool::status()
+}
+
 /// Maps `f` over `items` on up to `threads` workers, returning results
 /// in item order.
 ///
 /// `f` receives the item's index alongside the item. With `threads <= 1`
 /// (or a single item) this degenerates to a plain serial loop — no
-/// threads are spawned. Workers pull indices from a shared atomic
-/// counter, so scheduling is dynamic, but because `f` sees only
+/// threads are spawned or woken. Workers pull indices from a shared
+/// atomic counter, so scheduling is dynamic, but because `f` sees only
 /// `(index, item)` and results land in slot `index`, the output vector
 /// is identical for every thread count.
 ///
-/// Panics in `f` propagate to the caller (via [`std::thread::scope`]).
+/// Panics in `f` propagate to the caller: the first panicking item's
+/// payload is resumed on the submitting thread after the job drains.
 pub fn par_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -66,27 +81,18 @@ where
             .map(|(i, x)| f(i, x))
             .collect();
     }
-    let workers = threads.min(n);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let out = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
+    let task = |i: usize| {
+        let item = slots[i]
+            .lock()
+            .expect("item slot poisoned")
+            .take()
+            .expect("each index is claimed exactly once");
+        let out = f(i, item);
+        *results[i].lock().expect("result slot poisoned") = Some(out);
+    };
+    pool::run(threads, n, &task);
     results
         .into_iter()
         .map(|m| {
@@ -119,6 +125,200 @@ where
     U: Send + 'a,
 {
     par_map(threads, tasks, |_, task| task())
+}
+
+/// The persistent pool behind [`par_map`].
+///
+/// Jobs are queued under one mutex; workers park on `job_ready` while
+/// the queue has no claimable work and scan it again on wake. The
+/// submitter enqueues its job, wakes workers, works through items
+/// itself, then blocks on `job_done` until no worker still holds an item
+/// of the job. Because the submitter only returns once the job is fully
+/// quiescent, a task closure borrowing stack data can safely be handed
+/// to pool threads that outlive the call — that protocol invariant is
+/// what the two `unsafe` blocks below encode.
+mod pool {
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// Upper bound on pool size. Oversubscribing a little lets blocked
+    /// submitters overlap with running workers, but an unbounded pool
+    /// would grow with the largest `threads` argument ever seen.
+    fn worker_cap() -> usize {
+        super::available_threads().saturating_mul(2).clamp(4, 64)
+    }
+
+    /// Type-erased pointer to a caller-owned task closure.
+    ///
+    /// Pool workers outlive any one [`run`] call, so the task cannot be
+    /// lent to them as a plain borrow; validity is a protocol invariant
+    /// instead: `run` does not return until no worker can reach this
+    /// pointer again (job dequeued and `active == 0`), and the pointee
+    /// outlives `run`'s borrow of it.
+    struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+    // SAFETY: the pointee is `Sync` (callable from any thread through a
+    // shared reference) and `run` keeps it alive for as long as any
+    // worker can observe the pointer, per the protocol described above.
+    #[allow(unsafe_code)]
+    unsafe impl Send for TaskPtr {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for TaskPtr {}
+
+    struct Job {
+        task: TaskPtr,
+        n: usize,
+        /// Next unclaimed item index; claims past `n` mean "drained".
+        next: AtomicUsize,
+        /// Workers currently inside `run_items` for this job. Mutated
+        /// only under the pool lock so `job_done` waits cannot miss the
+        /// final decrement.
+        active: AtomicUsize,
+        /// Set on the first panic; stops further claims so the job
+        /// drains quickly.
+        abort: AtomicBool,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    impl Job {
+        fn has_work(&self) -> bool {
+            !self.abort.load(Ordering::Relaxed) && self.next.load(Ordering::Relaxed) < self.n
+        }
+
+        /// Claims and runs items until none remain or the job aborts.
+        fn run_items(&self) {
+            // SAFETY: this job is observable by the worker (it was found
+            // on the queue, or is owned by the submitter), so per the
+            // `TaskPtr` protocol the pointee is still alive.
+            #[allow(unsafe_code)]
+            let task = unsafe { &*self.task.0 };
+            while !self.abort.load(Ordering::Relaxed) {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.n {
+                    break;
+                }
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                    self.abort.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().expect("panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct State {
+        queue: VecDeque<Arc<Job>>,
+        workers: usize,
+    }
+
+    struct Pool {
+        state: Mutex<State>,
+        /// Signalled when a job with claimable work is enqueued.
+        job_ready: Condvar,
+        /// Signalled when a worker finishes its involvement in a job.
+        job_done: Condvar,
+        spawned_total: AtomicU64,
+    }
+
+    fn pool() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State::default()),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            spawned_total: AtomicU64::new(0),
+        })
+    }
+
+    pub(super) fn status() -> (usize, u64) {
+        let p = pool();
+        let workers = p.state.lock().expect("pool state poisoned").workers;
+        (workers, p.spawned_total.load(Ordering::Relaxed))
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        loop {
+            let job: Arc<Job> = {
+                let mut st = pool.state.lock().expect("pool state poisoned");
+                loop {
+                    if let Some(job) = st.queue.iter().find(|j| j.has_work()).cloned() {
+                        job.active.fetch_add(1, Ordering::Relaxed);
+                        break job;
+                    }
+                    st = pool.job_ready.wait(st).expect("pool state poisoned");
+                }
+            };
+            job.run_items();
+            let _st = pool.state.lock().expect("pool state poisoned");
+            job.active.fetch_sub(1, Ordering::Relaxed);
+            pool.job_done.notify_all();
+        }
+    }
+
+    /// Runs `task(0..n)` on up to `threads` workers (the submitting
+    /// thread counts as one), blocking until every index has run. The
+    /// first panic raised by an item is resumed here after the job
+    /// drains.
+    pub(super) fn run(threads: usize, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // SAFETY: pure lifetime erasure between identically-laid-out fat
+        // pointers (`*const dyn ... + 'a` → `... + 'static`); the
+        // `TaskPtr` protocol keeps every dereference within `'a`.
+        #[allow(unsafe_code)]
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(std::ptr::from_ref(task))
+        });
+        let job = Arc::new(Job {
+            task,
+            n,
+            next: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        let pool = pool();
+        {
+            let mut st = pool.state.lock().expect("pool state poisoned");
+            st.queue.push_back(job.clone());
+            let want = threads.min(n).saturating_sub(1).min(worker_cap());
+            while st.workers < want {
+                std::thread::Builder::new()
+                    .name(format!("quasar-par-{}", st.workers))
+                    .spawn(move || worker_loop(pool))
+                    .expect("failed to spawn pool worker");
+                st.workers += 1;
+                pool.spawned_total.fetch_add(1, Ordering::Relaxed);
+            }
+            pool.job_ready.notify_all();
+        }
+        // The submitter works its own job: progress is guaranteed even
+        // with every pooled worker busy (or parked behind a nested call).
+        job.run_items();
+        {
+            // Dequeue first so no further worker can pick the job up,
+            // then wait for the ones already inside it.
+            let mut st = pool.state.lock().expect("pool state poisoned");
+            st.queue.retain(|j| !Arc::ptr_eq(j, &job));
+            while job.active.load(Ordering::Relaxed) > 0 {
+                st = pool.job_done.wait(st).expect("pool state poisoned");
+            }
+        }
+        let payload = job.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +382,61 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = par_map(64, vec![1u32, 2, 3], |_, x| x * 2);
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, (0..32).collect::<Vec<u32>>(), |_, x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "unexpected payload: {msg}");
+        // The pool must stay usable after a panicked job.
+        assert_eq!(par_map(4, vec![1u32, 2], |_, x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn nested_par_map_completes() {
+        let out = par_map(4, (0..8u64).collect::<Vec<_>>(), |_, x| {
+            par_map(4, (0..8u64).collect::<Vec<_>>(), move |_, y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8u64)
+            .map(|x| (0..8).map(|y| x * 10 + y).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Saturate the pool to its hard cap so neither this test's later
+        // calls nor concurrently-running tests can grow it further.
+        let _ = par_map(64, (0..256u64).collect::<Vec<_>>(), |i, x| {
+            x.wrapping_add(i as u64)
+        });
+        let (workers_before, spawned_before) = pool_status();
+        assert!(
+            workers_before >= 3,
+            "cap saturation spawned {workers_before}"
+        );
+        for round in 0..8u64 {
+            let out = par_map(64, (0..64u64).collect::<Vec<_>>(), move |i, x| {
+                x * 2 + i as u64 + round
+            });
+            assert_eq!(out[3], 9 + round);
+        }
+        let (workers_after, spawned_after) = pool_status();
+        assert_eq!(workers_before, workers_after);
+        assert_eq!(
+            spawned_before, spawned_after,
+            "consecutive par_map calls must reuse pooled workers, not spawn new ones"
+        );
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use quasar_cluster::tasks::{TaskExecution, TaskSpec};
 use quasar_cluster::{ClusterSpec, PhaseChange, SimConfig, Simulation};
+use quasar_core::par::par_map;
 use quasar_core::straggler::{
     detect_hadoop, detect_late, detect_quasar, mean_detection_s, TaskWave,
 };
@@ -42,8 +43,17 @@ pub struct AdaptationResult {
     pub mitigation_means: (f64, f64, f64, f64),
 }
 
-/// Runs all three §4 validations.
+/// Runs all three §4 validations serially (equivalent to
+/// `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> AdaptationResult {
+    run_with(scale, 1)
+}
+
+/// Runs all three §4 validations, fanning the straggler-detection and
+/// mitigation waves out over up to `threads` workers (bit-identical to
+/// serial for any count: every wave's seed is a pure function of its
+/// index, and results are reduced in index order).
+pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
     let (jobs, waves) = match scale {
         Scale::Quick => (6, 6),
         Scale::Full => (16, 20),
@@ -148,19 +158,21 @@ pub fn run(scale: Scale) -> AdaptationResult {
         (phase_flags_quiet as f64 / (sweeps_quiet * jobs as f64 * 0.2).max(1.0)).min(1.0);
 
     // --- Stragglers ---
-    let mut q = Vec::new();
-    let mut l = Vec::new();
-    let mut h = Vec::new();
-    for seed in 0..waves {
+    let wave_means = par_map(threads, (0..waves).collect::<Vec<_>>(), |_, seed| {
         let wave = TaskWave::generate(50, 5, 120.0, seed as u64);
-        q.push(mean_detection_s(&detect_quasar(&wave, 15.0)).expect("stragglers found"));
-        l.push(mean_detection_s(&detect_late(&wave)).expect("stragglers found"));
-        h.push(mean_detection_s(&detect_hadoop(&wave)).expect("stragglers found"));
-    }
+        [
+            mean_detection_s(&detect_quasar(&wave, 15.0)).expect("stragglers found"),
+            mean_detection_s(&detect_late(&wave)).expect("stragglers found"),
+            mean_detection_s(&detect_hadoop(&wave)).expect("stragglers found"),
+        ]
+    });
+    let q: Vec<f64> = wave_means.iter().map(|m| m[0]).collect();
+    let l: Vec<f64> = wave_means.iter().map(|m| m[1]).collect();
+    let h: Vec<f64> = wave_means.iter().map(|m| m[2]).collect();
     let (mq, ml, mh) = (mean(&q), mean(&l), mean(&h));
 
     // --- Live straggler mitigation over wave-based task execution. ---
-    let mitigation_means = mitigation_comparison(waves);
+    let mitigation_means = mitigation_comparison(waves, threads);
 
     // --- Overheads: profiling share of execution from the phase run. ---
     let mut overheads = Vec::new();
@@ -272,10 +284,12 @@ fn mitigated_completion(spec: TaskSpec, policy: MitigationPolicy) -> f64 {
     exec.now_s()
 }
 
-/// Mean completion across waves for each mitigation policy.
-fn mitigation_comparison(waves: usize) -> (f64, f64, f64, f64) {
-    let mut sums = [0.0f64; 4];
-    for seed in 0..waves {
+/// Mean completion across waves for each mitigation policy, with the
+/// waves fanned out over up to `threads` workers (deterministic: wave
+/// seeds are pure functions of the wave index, and the per-wave results
+/// are summed in index order).
+fn mitigation_comparison(waves: usize, threads: usize) -> (f64, f64, f64, f64) {
+    let per_wave = par_map(threads, (0..waves).collect::<Vec<_>>(), |_, seed| {
         let spec = TaskSpec {
             tasks: 64,
             slots: 16,
@@ -291,8 +305,12 @@ fn mitigation_comparison(waves: usize) -> (f64, f64, f64, f64) {
             MitigationPolicy::Late,
             MitigationPolicy::Quasar,
         ];
-        for (i, policy) in policies.into_iter().enumerate() {
-            sums[i] += mitigated_completion(spec, policy);
+        policies.map(|policy| mitigated_completion(spec, policy))
+    });
+    let mut sums = [0.0f64; 4];
+    for wave in per_wave {
+        for (i, v) in wave.into_iter().enumerate() {
+            sums[i] += v;
         }
     }
     let n = waves.max(1) as f64;

@@ -7,7 +7,8 @@
 use std::fmt;
 
 use quasar_baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager, UserErrorModel};
-use quasar_cluster::{ClusterSpec, SimConfig, Simulation};
+use quasar_cluster::{ClusterSpec, Observation, SimConfig, Simulation};
+use quasar_core::par::par_map;
 use quasar_core::{QuasarConfig, QuasarManager};
 use quasar_workloads::generate::Generator;
 use quasar_workloads::{PlatformCatalog, QosTarget};
@@ -50,6 +51,27 @@ impl Fig11Result {
     pub fn run_named(&self, name: &str) -> Option<&CloudRun> {
         self.runs.iter().find(|r| r.manager == name)
     }
+}
+
+/// Score for a batch job still unfinished at the horizon: its projected
+/// performance from partial progress, `target / (elapsed / progress)`.
+///
+/// The old form scored `target / (horizon - submitted)` with no
+/// progress term, so a job submitted just before the horizon divided by
+/// a near-zero elapsed time and clamped to a *perfect* 1.0 despite
+/// having done essentially nothing. Zero progress now scores 0, and the
+/// guarded denominator keeps near-horizon submissions finite.
+pub fn unfinished_completion_score(
+    target_s: f64,
+    submitted_s: f64,
+    horizon: f64,
+    progress: f64,
+) -> f64 {
+    if progress <= 0.0 {
+        return 0.0;
+    }
+    let elapsed = (horizon - submitted_s).max(f64::EPSILON);
+    (target_s * progress / elapsed).clamp(0.0, 1.0)
 }
 
 fn run_cloud(scale: Scale, which: &str) -> CloudRun {
@@ -113,9 +135,19 @@ fn run_cloud(scale: Scale, which: &str) -> CloudRun {
                 let record = completions.iter().find(|r| r.id == *id);
                 match record.and_then(|r| r.execution_s()) {
                     Some(exec) => (seconds / exec).min(1.0),
-                    // Unfinished: score what it achieved so far.
-                    None => (seconds / (horizon - record.map(|r| r.submitted_s).unwrap_or(0.0)))
-                        .clamp(0.0, 1.0),
+                    // Unfinished: project from the progress it made.
+                    None => {
+                        let progress = match world.observation(*id) {
+                            Some(Observation::Batch { progress, .. }) => progress,
+                            _ => 0.0,
+                        };
+                        unfinished_completion_score(
+                            *seconds,
+                            record.map(|r| r.submitted_s).unwrap_or(0.0),
+                            horizon,
+                            progress,
+                        )
+                    }
                 }
             }
             QosTarget::Ips { ips } => {
@@ -190,13 +222,19 @@ fn run_cloud(scale: Scale, which: &str) -> CloudRun {
     }
 }
 
-/// Runs the scenario under all three managers.
+/// Runs the scenario under all three managers serially (equivalent to
+/// `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Fig11Result {
-    let runs = vec![
-        run_cloud(scale, "quasar"),
-        run_cloud(scale, "reservation+paragon"),
-        run_cloud(scale, "reservation+ll"),
-    ];
+    run_with(scale, 1)
+}
+
+/// Runs the scenario, fanning the three manager runs out over up to
+/// `threads` workers (bit-identical to serial for any count: each run
+/// owns a fresh simulation with fixed seeds, and results are assembled
+/// in manager order).
+pub fn run_with(scale: Scale, threads: usize) -> Fig11Result {
+    let managers = vec!["quasar", "reservation+paragon", "reservation+ll"];
+    let runs = par_map(threads, managers, |_, which| run_cloud(scale, which));
 
     let rows: Vec<Vec<f64>> = runs
         .iter()
@@ -300,5 +338,28 @@ mod tests {
             q10 > ll10 + 0.10,
             "quasar tail p10 {q10:.2} must dominate LL {ll10:.2}"
         );
+    }
+
+    #[test]
+    fn near_horizon_unfinished_jobs_do_not_score_perfectly() {
+        // Regression: a job submitted 1s before the horizon with no
+        // progress used to score target/1s, clamped to a perfect 1.0.
+        assert_eq!(
+            unfinished_completion_score(600.0, 9_999.0, 10_000.0, 0.0),
+            0.0
+        );
+        // Even with a sliver of progress, a near-horizon job scores its
+        // projection, not an automatic 1.0 — here it projects 1000s of
+        // work against a 600s target.
+        let s = unfinished_completion_score(600.0, 9_999.0, 10_000.0, 0.001);
+        assert!((s - 0.6).abs() < 1e-12, "projected score {s}");
+        // Partial progress scores partially: halfway through a run that
+        // has consumed exactly the target time projects 0.5.
+        let s = unfinished_completion_score(600.0, 9_400.0, 10_000.0, 0.5);
+        assert!((s - 0.5).abs() < 1e-12, "halfway score {s}");
+        // A submit time at (or past) the horizon must not divide by
+        // zero or go negative.
+        let s = unfinished_completion_score(600.0, 10_000.0, 10_000.0, 0.2);
+        assert_eq!(s, 1.0, "degenerate elapsed clamps, not NaN/inf: {s}");
     }
 }

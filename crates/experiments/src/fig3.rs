@@ -163,6 +163,17 @@ impl fmt::Display for Fig3Result {
             "decide 4p us",
             "decide exh us",
         ]);
+        // Decision times are the one live wall-clock measurement in any
+        // report; mask them when stdout must be reproducible (e.g. the
+        // CI smoke comparing `--threads` values).
+        let mask = crate::report::mask_live_timings();
+        let us = |v: f64| {
+            if mask {
+                "-".to_string()
+            } else {
+                format!("{v:.0}")
+            }
+        };
         for (app, points) in &self.sweeps {
             for p in points {
                 t.row([
@@ -173,8 +184,8 @@ impl fmt::Display for Fig3Result {
                     format!("{:.1}", p.p90_hetero * 100.0),
                     format!("{:.1}", p.p90_interference * 100.0),
                     format!("{:.0}", p.profile_s),
-                    format!("{:.0}", p.decide_us_parallel),
-                    format!("{:.0}", p.decide_us_exhaustive),
+                    us(p.decide_us_parallel),
+                    us(p.decide_us_exhaustive),
                 ]);
             }
         }

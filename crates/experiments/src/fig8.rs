@@ -6,6 +6,7 @@ use std::fmt;
 
 use quasar_baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager};
 use quasar_cluster::{ClusterSpec, Observation, SimConfig, Simulation};
+use quasar_core::par::par_map;
 use quasar_core::{QuasarConfig, QuasarManager};
 use quasar_interference::PressureVector;
 use quasar_workloads::generate::Generator;
@@ -186,8 +187,17 @@ fn best_node_qps() -> f64 {
         .fold(0.0, f64::max)
 }
 
-/// Runs all three load scenarios under both managers.
+/// Runs all three load scenarios under both managers serially
+/// (equivalent to `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Fig8Result {
+    run_with(scale, 1)
+}
+
+/// Runs all three load scenarios, fanning the six (pattern × manager)
+/// replications out over up to `threads` workers (bit-identical to
+/// serial for any count: each replication owns a fresh simulation with
+/// fixed seeds, and traces are assembled in configuration order).
+pub fn run_with(scale: Scale, threads: usize) -> Fig8Result {
     // Size the load relative to the sampled service's real capacity
     // rather than a fixed QPS: the flat load needs ~4.5 of the best
     // nodes, so the spike (2x) needs ~9 — structurally beyond the
@@ -223,11 +233,13 @@ pub fn run(scale: Scale) -> Fig8Result {
     ];
 
     let spike_window = (horizon * 0.5, horizon * 0.5 + horizon * 0.15 + 120.0);
-    let mut traces = Vec::new();
-    for (name, pattern) in patterns {
-        traces.push(run_pattern(scale, pattern, name, false));
-        traces.push(run_pattern(scale, pattern, name, true));
-    }
+    let configs: Vec<(&str, LoadPattern, bool)> = patterns
+        .iter()
+        .flat_map(|&(name, pattern)| [(name, pattern, false), (name, pattern, true)])
+        .collect();
+    let traces = par_map(threads, configs, |_, (name, pattern, quasar)| {
+        run_pattern(scale, pattern, name, quasar)
+    });
 
     let rows: Vec<Vec<f64>> = traces
         .iter()

@@ -9,6 +9,7 @@ use quasar_baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager};
 use quasar_cluster::{ClusterSpec, Observation, SimConfig, Simulation};
 
 use crate::report::percentile;
+use quasar_core::par::par_map;
 use quasar_core::{QuasarConfig, QuasarManager};
 use quasar_workloads::generate::Generator;
 use quasar_workloads::{LoadPattern, PlatformCatalog, Priority, WorkloadClass, WorkloadId};
@@ -218,10 +219,21 @@ fn run_day(scale: Scale, quasar: bool) -> RunOutput {
     RunOutput { outcomes, windows }
 }
 
-/// Runs the 24-hour scenario under both managers.
+/// Runs the 24-hour scenario under both managers serially (equivalent
+/// to `run_with(scale, 1)`).
 pub fn run(scale: Scale) -> Fig910Result {
-    let autoscale = run_day(scale, false);
-    let quasar = run_day(scale, true);
+    run_with(scale, 1)
+}
+
+/// Runs the 24-hour scenario, fanning the two manager runs out over up
+/// to `threads` workers (bit-identical to serial for any count: each
+/// run owns a fresh simulation with fixed seeds).
+pub fn run_with(scale: Scale, threads: usize) -> Fig910Result {
+    let mut day_runs = par_map(threads, vec![false, true], |_, quasar| {
+        run_day(scale, quasar)
+    });
+    let quasar = day_runs.pop().expect("two manager runs");
+    let autoscale = day_runs.pop().expect("two manager runs");
 
     let mut outcomes = autoscale.outcomes;
     outcomes.extend(quasar.outcomes.iter().cloned());

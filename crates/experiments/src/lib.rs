@@ -94,24 +94,27 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
     run_experiment_with(id, scale, 1)
 }
 
-/// [`run_experiment`] with an explicit worker-thread count for the
-/// experiments that fan out over the deterministic parallel runner
-/// (`table2`, `fig2`, `fig3`). The report text is bit-identical for
-/// every `threads` value; other experiments ignore the knob.
+/// [`run_experiment`] with an explicit worker-thread count. Every
+/// experiment fans its replications (days, jobs, manager runs, waves)
+/// out over the deterministic parallel runner; the report text is
+/// bit-identical for every `threads` value. (`fig3`'s decision-time
+/// columns are the one live wall-clock measurement — they are masked
+/// when [`report::mask_live_timings`] is set, as in the CI smoke that
+/// compares stdout across thread counts.)
 pub fn run_experiment_with(id: &str, scale: Scale, threads: usize) -> Option<String> {
     let out = match id {
-        "fig1" => fig1::run(scale).to_string(),
+        "fig1" => fig1::run_with(scale, threads).to_string(),
         "fig2" => fig2::run_with(scale, threads).to_string(),
         "table1" => fig2::table1(),
         "table2" => table2::run_with(scale, threads).to_string(),
         "fig3" => fig3::run_with(scale, threads).to_string(),
-        "fig5" | "table3" => fig5::run(scale).to_string(),
-        "fig6" => fig67::run(scale).to_string(),
-        "fig7" => fig67::run(scale).utilization_report(),
-        "fig8" => fig8::run(scale).to_string(),
-        "fig9" | "fig10" => fig910::run(scale).to_string(),
-        "fig11" => fig11::run(scale).to_string(),
-        "adaptation" => adaptation::run(scale).to_string(),
+        "fig5" | "table3" => fig5::run_with(scale, threads).to_string(),
+        "fig6" => fig67::run_with(scale, threads).to_string(),
+        "fig7" => fig67::run_with(scale, threads).utilization_report(),
+        "fig8" => fig8::run_with(scale, threads).to_string(),
+        "fig9" | "fig10" => fig910::run_with(scale, threads).to_string(),
+        "fig11" => fig11::run_with(scale, threads).to_string(),
+        "adaptation" => adaptation::run_with(scale, threads).to_string(),
         _ => return None,
     };
     Some(out)

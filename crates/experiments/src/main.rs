@@ -68,11 +68,11 @@ fn main() {
             Some(report) => {
                 // Results go to stdout; run diagnostics (thread count,
                 // wall clock) to stderr, so result stdout can be diffed
-                // across `--threads` values. Reports whose columns are
-                // pure functions of the seed (e.g. table2) are
-                // byte-identical for every thread count; reports that
-                // print live decision-time measurements (fig3) vary in
-                // those columns only.
+                // across `--threads` values. Every report's columns are
+                // pure functions of the seeds except fig3's live
+                // decision-time measurements, which print as `-` when
+                // QUASAR_MASK_TIMINGS or QUASAR_SMOKE_THREADS is set
+                // (as in the CI smoke that cmp's stdout).
                 eprintln!("[{id}: {scale:?}, {threads} threads]");
                 println!("###### {id} ({scale:?}) ######");
                 println!("{report}");

@@ -26,7 +26,26 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 
 /// Maximum of a slice; 0 when empty.
 pub fn maximum(values: &[f64]) -> f64 {
-    values.iter().copied().fold(0.0, f64::max)
+    if values.is_empty() {
+        return 0.0;
+    }
+    // Seed with -inf, not 0: an all-negative slice (e.g. a worst-case
+    // speedup *regression*) must report its true maximum, not a phantom
+    // zero that hides the regression.
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Whether reports should mask live wall-clock measurements.
+///
+/// Set via `QUASAR_MASK_TIMINGS=1`, or implicitly by the thread-scaling
+/// determinism smoke (`QUASAR_SMOKE_THREADS`), which `cmp`s stdout
+/// across `--threads` values: the classification decision-time columns
+/// are the one thing *measured* with a real clock rather than derived
+/// from seeds, so they are the one thing allowed to differ between two
+/// otherwise byte-identical runs. Masked columns print `-`.
+pub fn mask_live_timings() -> bool {
+    std::env::var_os("QUASAR_MASK_TIMINGS").is_some()
+        || std::env::var_os("QUASAR_SMOKE_THREADS").is_some()
 }
 
 /// A fixed-width text table with a title, header, and rows.
@@ -143,6 +162,31 @@ mod tests {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(maximum(&[1.0, 3.0, 2.0]), 3.0);
         assert_eq!(mean(&[]), 0.0);
+        assert_eq!(maximum(&[]), 0.0);
+    }
+
+    #[test]
+    fn maximum_of_all_negative_slice_is_negative() {
+        // Regression: the old fold(0.0, f64::max) reported 0 here,
+        // hiding all-regression speedup distributions.
+        assert_eq!(maximum(&[-5.0, -1.5, -9.0]), -1.5);
+        assert_eq!(maximum(&[-0.25]), -0.25);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank_not_index_floor() {
+        // Regression for fig1's old inline quantile,
+        // `cdf[((len - 1) as f64 * p) as usize]`, which floored the
+        // index: for p = 0.55 over 10 ascending values it picked index
+        // 4 (the 5th value) where nearest-rank is ceil(0.55 * 10) = the
+        // 6th.
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let floored = v[((v.len() - 1) as f64 * 0.55) as usize];
+        assert_eq!(floored, 5.0);
+        assert_eq!(percentile(&v, 0.55), 6.0);
+        // And the old form underflowed `len - 1` on an empty slice;
+        // percentile must return the documented 0 instead.
+        assert_eq!(percentile(&[], 0.9), 0.0);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Thread-scaling determinism smoke: every experiment's report must be
+//! byte-identical no matter how many workers the parallel runner uses.
+//!
+//! Gated behind `QUASAR_SMOKE_THREADS` because it reruns the full quick
+//! suite twice (~a minute): set the variable to run it, as CI does. The
+//! same variable makes `report::mask_live_timings()` blank fig3's
+//! wall-clock decision-time columns, the one measured (non-derived)
+//! value in any report.
+
+use quasar_experiments::{run_experiment_with, Scale, EXPERIMENT_IDS};
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    if std::env::var_os("QUASAR_SMOKE_THREADS").is_none() {
+        eprintln!("skipping: set QUASAR_SMOKE_THREADS=1 to run the thread-scaling smoke");
+        return;
+    }
+    for id in EXPERIMENT_IDS {
+        let serial = run_experiment_with(id, Scale::Quick, 1).expect("known id");
+        let parallel = run_experiment_with(id, Scale::Quick, 4).expect("known id");
+        assert_eq!(
+            serial, parallel,
+            "{id}: report differs between --threads 1 and --threads 4"
+        );
+    }
+}
