@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use quasar_obs::registry::{Counter, Registry};
 
 use crate::dense::DenseMatrix;
 use crate::fingerprint::Fingerprint;
@@ -19,19 +21,110 @@ use crate::sparse::SparseMatrix;
 /// sweeps needed it most).
 const ROW_CACHE_CAP: usize = 1024;
 
-/// A memoized row plus the logical time of its last use, for LRU
-/// eviction.
+/// Global registry handles for the row-cache counters
+/// (`quasar.cf.row_cache.*`), aggregated across all [`Reconstructor`]
+/// instances; per-instance counts stay available via
+/// [`Reconstructor::row_cache_stats`].
+fn cache_metrics() -> &'static (Counter, Counter, Counter) {
+    static METRICS: OnceLock<(Counter, Counter, Counter)> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        (
+            reg.counter("quasar.cf.row_cache.hits"),
+            reg.counter("quasar.cf.row_cache.misses"),
+            reg.counter("quasar.cf.row_cache.evictions"),
+        )
+    })
+}
+
+/// A memoized row threaded into an intrusive doubly-linked recency
+/// list (`prev` toward more recent, `next` toward less recent).
 #[derive(Debug)]
 struct CacheEntry {
     row: Vec<f64>,
-    last_used: u64,
+    prev: Option<u128>,
+    next: Option<u128>,
 }
 
+/// LRU map with O(1) lookup, touch, and eviction: a `HashMap` whose
+/// entries double as nodes of a doubly-linked list ordered by recency.
+/// This replaces an O(capacity) min-scan over `last_used` stamps that
+/// ran on every eviction once the map filled (ROADMAP open item).
 #[derive(Debug, Default)]
 struct RowCacheInner {
     map: HashMap<u128, CacheEntry>,
-    /// Logical clock bumped on every lookup; drives `last_used`.
-    tick: u64,
+    /// Most-recently-used key.
+    head: Option<u128>,
+    /// Least-recently-used key (next eviction victim).
+    tail: Option<u128>,
+}
+
+impl RowCacheInner {
+    fn unlink(&mut self, key: u128) {
+        let (prev, next) = {
+            let node = &self.map[&key];
+            (node.prev, node.next)
+        };
+        match prev {
+            Some(p) => self.map.get_mut(&p).expect("lru prev missing").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.map.get_mut(&n).expect("lru next missing").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    fn push_front(&mut self, key: u128) {
+        let old_head = self.head;
+        {
+            let node = self.map.get_mut(&key).expect("lru node missing");
+            node.prev = None;
+            node.next = old_head;
+        }
+        match old_head {
+            Some(h) => self.map.get_mut(&h).expect("lru head missing").prev = Some(key),
+            None => self.tail = Some(key),
+        }
+        self.head = Some(key);
+    }
+
+    /// Marks `key` most recently used. O(1).
+    fn touch(&mut self, key: u128) {
+        if self.head == Some(key) {
+            return;
+        }
+        self.unlink(key);
+        self.push_front(key);
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when at
+    /// capacity. Returns whether an eviction happened. O(1).
+    fn insert(&mut self, key: u128, row: Vec<f64>) -> bool {
+        if let Some(node) = self.map.get_mut(&key) {
+            node.row = row;
+            self.touch(key);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= ROW_CACHE_CAP {
+            if let Some(lru) = self.tail {
+                self.unlink(lru);
+                self.map.remove(&lru);
+                evicted = true;
+            }
+        }
+        self.map.insert(
+            key,
+            CacheEntry {
+                row,
+                prev: None,
+                next: None,
+            },
+        );
+        self.push_front(key);
+        evicted
+    }
 }
 
 /// Shared memo for [`Reconstructor::reconstruct_row`]. Reconstruction
@@ -190,40 +283,23 @@ impl Reconstructor {
             return Err(ReconstructError::Unanchored);
         }
         let key = self.row_key(history, target);
+        let (hits, misses, evictions) = cache_metrics();
         {
             let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.map.get_mut(&key) {
-                entry.last_used = tick;
+            if let Some(row) = inner.map.get(&key).map(|entry| entry.row.clone()) {
+                inner.touch(key);
                 self.row_cache.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(entry.row.clone());
+                hits.inc();
+                return Ok(row);
             }
         }
         self.row_cache.misses.fetch_add(1, Ordering::Relaxed);
+        misses.inc();
         let row = self.reconstruct_row_uncached(history, target)?;
         let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= ROW_CACHE_CAP && !inner.map.contains_key(&key) {
-            // Evict only the least-recently-used entry. The O(cap) scan
-            // is negligible next to the SVD+SGD recompute a miss costs.
-            if let Some(lru) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                inner.map.remove(&lru);
-            }
+        if inner.insert(key, row.clone()) {
+            evictions.inc();
         }
-        inner.map.insert(
-            key,
-            CacheEntry {
-                row: row.clone(),
-                last_used: tick,
-            },
-        );
         Ok(row)
     }
 
@@ -431,6 +507,35 @@ mod tests {
             "recently-inserted keys must survive crossing the capacity"
         );
         assert_eq!(hits, revisit as u64);
+    }
+
+    #[test]
+    fn row_cache_touch_protects_entries_from_eviction() {
+        let history = DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f64 + 1.0);
+        let rec = Reconstructor::new().with_config(SgdConfig {
+            max_epochs: 1,
+            max_rank: 1,
+            ..SgdConfig::default()
+        });
+        let target = |i: usize| [(0usize, i as f64 + 0.25)];
+        // Fill to capacity, then re-touch the oldest entry.
+        for i in 0..ROW_CACHE_CAP {
+            rec.reconstruct_row(&history, &target(i)).unwrap();
+        }
+        rec.reconstruct_row(&history, &target(0)).unwrap();
+        assert_eq!(rec.row_cache_stats(), (1, ROW_CACHE_CAP as u64));
+        // The next insert evicts the true LRU (key 1), not key 0.
+        rec.reconstruct_row(&history, &target(ROW_CACHE_CAP))
+            .unwrap();
+        rec.reconstruct_row(&history, &target(0)).unwrap();
+        let (hits, misses) = rec.row_cache_stats();
+        assert_eq!((hits, misses), (2, ROW_CACHE_CAP as u64 + 1));
+        rec.reconstruct_row(&history, &target(1)).unwrap();
+        assert_eq!(
+            rec.row_cache_stats().1,
+            ROW_CACHE_CAP as u64 + 2,
+            "key 1 must have been the eviction victim"
+        );
     }
 
     #[test]

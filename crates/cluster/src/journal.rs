@@ -19,10 +19,40 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
+use quasar_obs::registry::{Counter, Registry};
 use quasar_workloads::{NodeResources, WorkloadId};
 
 use crate::server::ServerId;
+
+/// Registry handles for the journal counters: one total plus one per
+/// event kind (`quasar.cluster.journal.<kind>`).
+struct JournalMetrics {
+    total: Counter,
+    per_kind: [(&'static str, Counter); 8],
+}
+
+fn journal_metrics() -> &'static JournalMetrics {
+    static METRICS: OnceLock<JournalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        let kind = |k: &'static str| (k, reg.counter(&format!("quasar.cluster.journal.{k}")));
+        JournalMetrics {
+            total: reg.counter("quasar.cluster.journal.events"),
+            per_kind: [
+                kind("placed"),
+                kind("evicted"),
+                kind("node_added"),
+                kind("node_removed"),
+                kind("node_resized"),
+                kind("params_set"),
+                kind("isolation_set"),
+                kind("completed"),
+            ],
+        }
+    })
+}
 
 /// One recorded manager action.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +99,11 @@ pub enum JournalEvent {
         server: ServerId,
         /// New slice size.
         resources: NodeResources,
+    },
+    /// Framework parameters were updated in place.
+    ParamsSet {
+        /// Workload reconfigured.
+        workload: WorkloadId,
     },
     /// Hardware partitioning was toggled.
     IsolationSet {
@@ -124,6 +159,9 @@ impl fmt::Display for JournalEvent {
                 "{workload} resized on {server} to {} cores, {:.0}GB",
                 resources.cores, resources.memory_gb
             ),
+            JournalEvent::ParamsSet { workload } => {
+                write!(f, "{workload} framework parameters updated")
+            }
             JournalEvent::IsolationSet { workload, isolated } => {
                 if *isolated {
                     write!(f, "{workload} partitioning enabled")
@@ -132,6 +170,38 @@ impl fmt::Display for JournalEvent {
                 }
             }
             JournalEvent::Completed { workload } => write!(f, "{workload} completed"),
+        }
+    }
+}
+
+impl JournalEvent {
+    /// Machine-readable kind tag, matching the per-kind registry
+    /// counter and trace event suffixes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::Placed { .. } => "placed",
+            JournalEvent::Evicted { .. } => "evicted",
+            JournalEvent::NodeAdded { .. } => "node_added",
+            JournalEvent::NodeRemoved { .. } => "node_removed",
+            JournalEvent::NodeResized { .. } => "node_resized",
+            JournalEvent::ParamsSet { .. } => "params_set",
+            JournalEvent::IsolationSet { .. } => "isolation_set",
+            JournalEvent::Completed { .. } => "completed",
+        }
+    }
+
+    /// Trace event name (`cluster.journal.<kind>`), static so it can be
+    /// recorded without allocation.
+    fn trace_name(&self) -> &'static str {
+        match self {
+            JournalEvent::Placed { .. } => "cluster.journal.placed",
+            JournalEvent::Evicted { .. } => "cluster.journal.evicted",
+            JournalEvent::NodeAdded { .. } => "cluster.journal.node_added",
+            JournalEvent::NodeRemoved { .. } => "cluster.journal.node_removed",
+            JournalEvent::NodeResized { .. } => "cluster.journal.node_resized",
+            JournalEvent::ParamsSet { .. } => "cluster.journal.params_set",
+            JournalEvent::IsolationSet { .. } => "cluster.journal.isolation_set",
+            JournalEvent::Completed { .. } => "cluster.journal.completed",
         }
     }
 }
@@ -159,8 +229,21 @@ impl Journal {
         }
     }
 
-    /// Appends an event at simulation time `at_s`.
+    /// Appends an event at simulation time `at_s`. Besides the in-memory
+    /// ring, the event feeds the registry counters
+    /// (`quasar.cluster.journal.*`) and — when tracing is enabled — a
+    /// structured instant record in the JSONL/Chrome exporters, keyed by
+    /// the event's logical time.
     pub fn record(&mut self, at_s: f64, event: JournalEvent) {
+        let metrics = journal_metrics();
+        metrics.total.inc();
+        let kind = event.kind();
+        if let Some((_, c)) = metrics.per_kind.iter().find(|(k, _)| *k == kind) {
+            c.inc();
+        }
+        if quasar_obs::tracing_enabled() {
+            quasar_obs::trace::record_instant(event.trace_name(), event.to_string(), at_s);
+        }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
@@ -200,6 +283,7 @@ impl Journal {
                     | JournalEvent::NodeAdded { workload, .. }
                     | JournalEvent::NodeRemoved { workload, .. }
                     | JournalEvent::NodeResized { workload, .. }
+                    | JournalEvent::ParamsSet { workload }
                     | JournalEvent::IsolationSet { workload, .. }
                     | JournalEvent::Completed { workload }
                     if *workload == id
@@ -300,6 +384,9 @@ mod tests {
                 server: ServerId(2),
                 resources: NodeResources::new(8, 16.0),
             },
+            JournalEvent::ParamsSet {
+                workload: WorkloadId(1),
+            },
             JournalEvent::IsolationSet {
                 workload: WorkloadId(1),
                 isolated: true,
@@ -310,6 +397,8 @@ mod tests {
         ];
         for e in events {
             assert!(!e.to_string().is_empty());
+            assert!(!e.kind().is_empty());
+            assert!(e.trace_name().ends_with(e.kind()));
         }
     }
 }

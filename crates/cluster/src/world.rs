@@ -1,7 +1,9 @@
 //! The simulated world: cluster physics plus the manager-facing API.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use quasar_obs::registry::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +29,24 @@ const ISOLATION_PRESSURE_FACTOR: f64 = 0.5;
 /// Capacity retained under partitioning (reserved ways/slices are not
 /// free).
 const ISOLATION_OVERHEAD_FACTOR: f64 = 0.93;
+
+/// Registry handles for the simulator counters
+/// (`quasar.cluster.world.*`).
+struct WorldMetrics {
+    ticks: Counter,
+    placements: Counter,
+}
+
+fn world_metrics() -> &'static WorldMetrics {
+    static METRICS: OnceLock<WorldMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        WorldMetrics {
+            ticks: reg.counter("quasar.cluster.world.ticks"),
+            placements: reg.counter("quasar.cluster.world.placements"),
+        }
+    })
+}
 
 /// Lifecycle state of a workload in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -381,9 +401,14 @@ impl World {
         nodes: Vec<NodeAlloc>,
         params: FrameworkParams,
     ) -> Result<(), PlaceError> {
+        // Placement spans are tagged with the world's logical time, not
+        // whatever a previous workload left on this thread.
+        quasar_obs::set_sim_time(self.now);
+        let _span = quasar_obs::span!("cluster.world.place", "workload={}", id.0);
         if self.entry(id).state != JobState::Pending {
             return Err(PlaceError::AlreadyPlaced(id));
         }
+        world_metrics().placements.inc();
         let nodes_count = nodes.len();
         let cores: u32 = nodes.iter().map(|n| n.resources.cores).sum();
         let delay_s = nodes
@@ -499,7 +524,10 @@ impl World {
         id: WorkloadId,
         params: FrameworkParams,
     ) -> Result<(), PlaceError> {
-        self.cluster.set_params(id, params)
+        self.cluster.set_params(id, params)?;
+        self.journal
+            .record(self.now, JournalEvent::ParamsSet { workload: id });
+        Ok(())
     }
 
     /// Enables or disables hardware partitioning for a placement (§4.4):
@@ -831,6 +859,11 @@ impl World {
     /// accounting. Returns the ids of batch jobs that completed.
     pub(crate) fn advance(&mut self, dt: f64) -> Vec<WorkloadId> {
         self.now += dt;
+        // Publish the logical clock so spans/instants recorded anywhere
+        // below (journal, manager callbacks) carry this tick's time.
+        quasar_obs::set_sim_time(self.now);
+        let _span = quasar_obs::span!("cluster.world.tick");
+        world_metrics().ticks.inc();
         self.injections.retain(|inj| inj.until_s > self.now);
 
         let running: Vec<WorkloadId> = self.ids_in_state(JobState::Running);
@@ -1118,6 +1151,83 @@ mod tests {
         assert!(record.finished_s.is_some());
         // Resources are freed.
         assert_eq!(w.used_cores(), 0);
+    }
+
+    /// Satellite guarantee for the structured journal: every mutating
+    /// `World` action — place, resize, scale-out, reclaim, params,
+    /// isolation, evict, completion — appends exactly one journal event
+    /// of the matching kind, and failed mutations append none.
+    #[test]
+    fn every_mutating_action_journals_exactly_one_event() {
+        let mut w = world();
+        let job = batch_workload(11);
+        let id = job.id();
+        w.submit(job);
+        assert!(w.journal().is_empty(), "submission alone journals nothing");
+
+        let sid = big_server(&w);
+        let other = w
+            .servers()
+            .iter()
+            .map(Server::id)
+            .find(|s| *s != sid)
+            .expect("world has at least two servers");
+        let small = NodeResources::new(2, 4.0);
+
+        w.place(
+            id,
+            vec![NodeAlloc::immediate(sid, small)],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+        w.resize_node(id, sid, NodeResources::new(4, 8.0)).unwrap();
+        w.add_node(id, NodeAlloc::immediate(other, small)).unwrap();
+        w.remove_node(id, other).unwrap();
+        w.set_params(id, FrameworkParams::default()).unwrap();
+        w.set_isolation(id, true).unwrap();
+        w.evict(id, true);
+
+        let kinds: Vec<&str> = w.journal().iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "placed",
+                "node_resized",
+                "node_added",
+                "node_removed",
+                "params_set",
+                "isolation_set",
+                "evicted"
+            ],
+            "one event per mutating action, in order"
+        );
+
+        // Failed mutations must not journal.
+        let before = w.journal().len();
+        assert!(w.resize_node(id, sid, small).is_err(), "evicted → no slice");
+        assert!(w.set_params(id, FrameworkParams::default()).is_err());
+        assert_eq!(w.journal().len(), before);
+
+        // Completion via physics journals exactly one `completed`.
+        let platform = w.platform_of(sid);
+        w.place(
+            id,
+            vec![NodeAlloc::immediate(sid, NodeResources::all_of(platform))],
+            FrameworkParams::default(),
+        )
+        .unwrap();
+        for _ in 0..4000 {
+            if !w.advance(5.0).is_empty() {
+                break;
+            }
+        }
+        assert_eq!(w.state(id), JobState::Completed);
+        let completions = w
+            .journal()
+            .iter()
+            .filter(|(_, e)| e.kind() == "completed")
+            .count();
+        assert_eq!(completions, 1);
     }
 
     #[test]

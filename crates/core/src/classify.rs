@@ -5,12 +5,38 @@
 //! entries with SVD + PQ/SGD (paper §3.2). Speed axes are reconstructed in
 //! log space; interference axes in linear pressure space.
 
+use std::sync::OnceLock;
+
 use quasar_cf::{DenseMatrix, Reconstructor};
 use quasar_interference::PressureVector;
+use quasar_obs::registry::{Counter, Histogram, Registry};
+use quasar_obs::span::timed;
 
 use crate::axes::{Axes, GoalKind};
 use crate::history::{ln_speed, HistorySet, KindHistory};
 use crate::profile::ProfilingData;
+
+/// Registry handles for the classification metrics
+/// (`quasar.core.classify.*`).
+struct ClassifyMetrics {
+    classifications: Counter,
+    axis_us: Histogram,
+    decision_us: Histogram,
+    exhaustive_us: Histogram,
+}
+
+fn classify_metrics() -> &'static ClassifyMetrics {
+    static METRICS: OnceLock<ClassifyMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        ClassifyMetrics {
+            classifications: reg.counter("quasar.core.classify.classifications"),
+            axis_us: reg.histogram_us("quasar.core.classify.axis_us"),
+            decision_us: reg.histogram_us("quasar.core.classify.decision_us"),
+            exhaustive_us: reg.histogram_us("quasar.core.classify.exhaustive_us"),
+        }
+    })
+}
 
 /// The dense output of classification: estimated performance across every
 /// axis column, in linear *speed* units (higher is better), plus estimated
@@ -118,52 +144,61 @@ impl Classifier {
     ) -> (Classification, f64) {
         let kind = data.kind;
         let k: &KindHistory = history.kind(kind);
+        let _decision_span = quasar_obs::span!("core.classify.decision");
 
+        // Each axis runs under a `timed` span: the span carries the
+        // per-axis wall time into traces, and the returned microseconds
+        // feed the registry histograms and the decision-latency model
+        // below (no ad-hoc `Instant::now()` bookkeeping).
         type AxisTask<'a> = Box<dyn FnOnce() -> (AxisOut, f64) + Send + 'a>;
-        let timed = |out: AxisOut, t0: std::time::Instant| (out, t0.elapsed().as_secs_f64() * 1e6);
         let tasks: Vec<AxisTask<'_>> = vec![
             Box::new(move || {
-                let t0 = std::time::Instant::now();
-                timed(
-                    AxisOut::ScaleUp(self.speed_axis(kind, &k.scale_up, &data.scale_up)),
-                    t0,
-                )
+                timed("core.classify.scale_up", || {
+                    AxisOut::ScaleUp(self.speed_axis(kind, &k.scale_up, &data.scale_up))
+                })
             }),
             Box::new(move || {
-                let t0 = std::time::Instant::now();
-                timed(
-                    AxisOut::Hetero(self.speed_axis(kind, &k.hetero, &data.hetero)),
-                    t0,
-                )
+                timed("core.classify.hetero", || {
+                    AxisOut::Hetero(self.speed_axis(kind, &k.hetero, &data.hetero))
+                })
             }),
             Box::new(move || {
-                let t0 = std::time::Instant::now();
-                let out = k
-                    .scale_out
-                    .as_ref()
-                    .filter(|_| !data.scale_out.is_empty())
-                    .map(|m| self.speed_axis(kind, m, &data.scale_out));
-                timed(AxisOut::ScaleOut(out), t0)
+                timed("core.classify.scale_out", || {
+                    AxisOut::ScaleOut(
+                        k.scale_out
+                            .as_ref()
+                            .filter(|_| !data.scale_out.is_empty())
+                            .map(|m| self.speed_axis(kind, m, &data.scale_out)),
+                    )
+                })
             }),
             Box::new(move || {
-                let t0 = std::time::Instant::now();
-                let out = k
-                    .params
-                    .as_ref()
-                    .filter(|_| !data.params.is_empty())
-                    .map(|m| self.speed_axis(kind, m, &data.params));
-                timed(AxisOut::Params(out), t0)
+                timed("core.classify.params", || {
+                    AxisOut::Params(
+                        k.params
+                            .as_ref()
+                            .filter(|_| !data.params.is_empty())
+                            .map(|m| self.speed_axis(kind, m, &data.params)),
+                    )
+                })
             }),
             Box::new(move || {
-                let t0 = std::time::Instant::now();
-                let tolerated = self.pressure_axis(&k.tolerated, &data.tolerated);
-                let caused = self.pressure_axis(&k.caused, &data.caused);
-                timed(AxisOut::Pressure(tolerated, caused), t0)
+                timed("core.classify.interference", || {
+                    let tolerated = self.pressure_axis(&k.tolerated, &data.tolerated);
+                    let caused = self.pressure_axis(&k.caused, &data.caused);
+                    AxisOut::Pressure(tolerated, caused)
+                })
             }),
         ];
 
         let results = crate::par::par_invoke(self.threads, tasks);
         let wall_us = results.iter().map(|(_, us)| *us).fold(0.0, f64::max);
+        let metrics = classify_metrics();
+        metrics.classifications.inc();
+        for (_, us) in &results {
+            metrics.axis_us.record(*us);
+        }
+        metrics.decision_us.record(wall_us);
 
         let mut scale_up_speed = Vec::new();
         let mut hetero_speed = Vec::new();
@@ -300,10 +335,31 @@ impl ExhaustiveClassifier {
     ///
     /// Panics if `observed` is empty.
     pub fn classify_row(&self, history: &DenseMatrix, observed: &[(usize, f64)]) -> Vec<f64> {
+        self.classify_row_timed(history, observed).0
+    }
+
+    /// [`ExhaustiveClassifier::classify_row`] plus its wall-clock
+    /// decision time in microseconds, recorded as a
+    /// `core.classify.exhaustive` span and into the
+    /// `quasar.core.classify.exhaustive_us` histogram (Fig. 3e compares
+    /// this latency against the parallel scheme's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` is empty.
+    pub fn classify_row_timed(
+        &self,
+        history: &DenseMatrix,
+        observed: &[(usize, f64)],
+    ) -> (Vec<f64>, f64) {
         assert!(!observed.is_empty(), "need at least one observation");
-        self.reconstructor
-            .reconstruct_row(history, observed)
-            .expect("dense history, non-empty target")
+        let (row, us) = timed("core.classify.exhaustive", || {
+            self.reconstructor
+                .reconstruct_row(history, observed)
+                .expect("dense history, non-empty target")
+        });
+        classify_metrics().exhaustive_us.record(us);
+        (row, us)
     }
 }
 

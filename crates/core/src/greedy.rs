@@ -101,6 +101,14 @@ impl GreedyScheduler {
         candidates: &[CandidateServer],
         budget_per_hour: Option<f64>,
     ) -> Option<AllocationPlan> {
+        let _span = quasar_obs::span!("core.greedy.plan", "candidates={}", candidates.len());
+        {
+            static PLANS: std::sync::OnceLock<quasar_obs::registry::Counter> =
+                std::sync::OnceLock::new();
+            PLANS
+                .get_or_init(|| quasar_obs::Registry::global().counter("quasar.core.greedy.plans"))
+                .inc();
+        }
         let est = Estimator::new(axes, class);
 
         // Pick framework parameters first: the best-estimated column whose

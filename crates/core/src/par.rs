@@ -21,7 +21,35 @@
 //! every pooled worker is busy elsewhere (including nested `par_map`
 //! calls from inside a worker).
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use quasar_obs::registry::{Counter, Histogram, Registry};
+
+/// Registry handles for the fan-out metrics. `jobs`/`items` count
+/// logical work (deterministic across thread counts — they increment on
+/// the serial path too); everything under `quasar.core.par.pool.` is
+/// live scheduling telemetry and is excluded from deterministic
+/// snapshots.
+struct ParMetrics {
+    jobs: Counter,
+    items: Counter,
+    job_items: Histogram,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        ParMetrics {
+            jobs: reg.counter("quasar.core.par.jobs"),
+            items: reg.counter("quasar.core.par.items"),
+            job_items: reg.histogram(
+                "quasar.core.par.job_items",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0],
+            ),
+        }
+    })
+}
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, or 1 if that cannot be determined.
@@ -74,12 +102,29 @@ where
     F: Fn(usize, T) -> U + Sync,
 {
     let n = items.len();
+    // Job accounting and the job span fire on *every* call — including
+    // the serial path below — so trace output and the deterministic
+    // metric view are identical for every thread count.
+    let metrics = par_metrics();
+    metrics.jobs.inc();
+    metrics.items.add(n as u64);
+    metrics.job_items.record(n as f64);
+    let _job_span = quasar_obs::span!("core.par.job", "items={n}");
     if threads <= 1 || n <= 1 {
-        return items
+        let out = items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| {
+                // Sim time is item-local state: start each item from the
+                // same baseline the pooled path gives it.
+                quasar_obs::set_sim_time(0.0);
+                f(i, x)
+            })
             .collect();
+        // Leave the submitter at the same baseline regardless of which
+        // item ran last (matches the pooled path below).
+        quasar_obs::set_sim_time(0.0);
+        return out;
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -89,10 +134,15 @@ where
             .expect("item slot poisoned")
             .take()
             .expect("each index is claimed exactly once");
+        // Reset per item so a span inside `f` sees a sim time derived
+        // only from this item's own work, never from whatever item this
+        // worker thread happened to run previously.
+        quasar_obs::set_sim_time(0.0);
         let out = f(i, item);
         *results[i].lock().expect("result slot poisoned") = Some(out);
     };
     pool::run(threads, n, &task);
+    quasar_obs::set_sim_time(0.0);
     results
         .into_iter()
         .map(|m| {
@@ -144,6 +194,35 @@ mod pool {
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+    use quasar_obs::registry::{Gauge, Histogram, Registry};
+
+    /// Live pool telemetry (`quasar.core.par.pool.*`). These reflect
+    /// actual scheduling — worker counts, queue pressure, per-job
+    /// occupancy — so they are deliberately *not* part of the
+    /// deterministic snapshot view.
+    struct PoolMetrics {
+        live: Gauge,
+        spawned: Gauge,
+        queue_depth_max: Gauge,
+        job_workers: Histogram,
+    }
+
+    fn pool_metrics() -> &'static PoolMetrics {
+        static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let reg = Registry::global();
+            PoolMetrics {
+                live: reg.gauge("quasar.core.par.pool.live"),
+                spawned: reg.gauge("quasar.core.par.pool.spawned"),
+                queue_depth_max: reg.gauge("quasar.core.par.pool.queue_depth_max"),
+                job_workers: reg.histogram(
+                    "quasar.core.par.pool.job_workers",
+                    &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+                ),
+            }
+        })
+    }
+
     /// Upper bound on pool size. Oversubscribing a little lets blocked
     /// submitters overlap with running workers, but an unbounded pool
     /// would grow with the largest `threads` argument ever seen.
@@ -181,6 +260,9 @@ mod pool {
         /// drains quickly.
         abort: AtomicBool,
         panic: Mutex<Option<Box<dyn Any + Send>>>,
+        /// Distinct threads that ran at least one stint on this job
+        /// (pool workers + the submitter), for occupancy telemetry.
+        participants: AtomicUsize,
     }
 
     impl Job {
@@ -249,6 +331,7 @@ mod pool {
                 loop {
                     if let Some(job) = st.queue.iter().find(|j| j.has_work()).cloned() {
                         job.active.fetch_add(1, Ordering::Relaxed);
+                        job.participants.fetch_add(1, Ordering::Relaxed);
                         break job;
                     }
                     st = pool.job_ready.wait(st).expect("pool state poisoned");
@@ -286,11 +369,15 @@ mod pool {
             active: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             panic: Mutex::new(None),
+            // The submitter always works the job (below).
+            participants: AtomicUsize::new(1),
         });
         let pool = pool();
+        let metrics = pool_metrics();
         {
             let mut st = pool.state.lock().expect("pool state poisoned");
             st.queue.push_back(job.clone());
+            metrics.queue_depth_max.set_max(st.queue.len() as u64);
             let want = threads.min(n).saturating_sub(1).min(worker_cap());
             while st.workers < want {
                 std::thread::Builder::new()
@@ -300,6 +387,10 @@ mod pool {
                 st.workers += 1;
                 pool.spawned_total.fetch_add(1, Ordering::Relaxed);
             }
+            metrics.live.set(st.workers as u64);
+            metrics
+                .spawned
+                .set(pool.spawned_total.load(Ordering::Relaxed));
             pool.job_ready.notify_all();
         }
         // The submitter works its own job: progress is guaranteed even
@@ -314,6 +405,9 @@ mod pool {
                 st = pool.job_done.wait(st).expect("pool state poisoned");
             }
         }
+        metrics
+            .job_workers
+            .record(job.participants.load(Ordering::Relaxed) as f64);
         let payload = job.panic.lock().expect("panic slot poisoned").take();
         if let Some(payload) = payload {
             resume_unwind(payload);

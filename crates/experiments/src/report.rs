@@ -48,6 +48,97 @@ pub fn mask_live_timings() -> bool {
         || std::env::var_os("QUASAR_SMOKE_THREADS").is_some()
 }
 
+/// Renders the per-run telemetry summary from the process-global metric
+/// registry: decision-latency percentiles, row-cache effectiveness,
+/// worker-pool utilization, and the logical work counters. Wall-clock
+/// and scheduling-dependent values print `-` under
+/// [`mask_live_timings`], so the summary stays byte-identical across
+/// `--threads` values in the CI smoke; the logical counters (jobs,
+/// classifications, journal events, ticks) are deterministic and always
+/// print.
+pub fn telemetry_summary() -> String {
+    let masked = mask_live_timings();
+    let reg = quasar_obs::Registry::global();
+    let live = |v: String| if masked { "-".to_string() } else { v };
+    let count = |name: &str| reg.counter(name).get();
+
+    let decision = reg.histogram_us("quasar.core.classify.decision_us");
+    let exhaustive = reg.histogram_us("quasar.core.classify.exhaustive_us");
+    let hits = count("quasar.cf.row_cache.hits");
+    let misses = count("quasar.cf.row_cache.misses");
+    let hit_rate = if hits + misses > 0 {
+        format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+    } else {
+        "n/a".to_string()
+    };
+    let job_workers = reg.histogram(
+        "quasar.core.par.pool.job_workers",
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+    );
+    let pool_util = if job_workers.count() > 0 {
+        format!(
+            "{:.2} workers/job (p95 <= {:.0})",
+            job_workers.sum() / job_workers.count() as f64,
+            job_workers.percentile(0.95)
+        )
+    } else {
+        "n/a".to_string()
+    };
+
+    let mut t = TextTable::new("telemetry summary").header(["metric", "value"]);
+    t.row([
+        "classifications".to_string(),
+        count("quasar.core.classify.classifications").to_string(),
+    ]);
+    for (label, p) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        t.row([
+            format!("decision latency {label} (us, bucketed)"),
+            live(format!("{:.0}", decision.percentile(p))),
+        ]);
+    }
+    t.row([
+        "exhaustive classify p50 (us, bucketed)".to_string(),
+        live(format!("{:.0}", exhaustive.percentile(0.5))),
+    ]);
+    t.row(["row-cache hits".to_string(), live(hits.to_string())]);
+    t.row(["row-cache misses".to_string(), live(misses.to_string())]);
+    t.row(["row-cache hit rate".to_string(), live(hit_rate)]);
+    t.row([
+        "row-cache evictions".to_string(),
+        live(count("quasar.cf.row_cache.evictions").to_string()),
+    ]);
+    t.row([
+        "parallel jobs".to_string(),
+        count("quasar.core.par.jobs").to_string(),
+    ]);
+    t.row([
+        "parallel items".to_string(),
+        count("quasar.core.par.items").to_string(),
+    ]);
+    t.row([
+        "pool workers live".to_string(),
+        live(reg.gauge("quasar.core.par.pool.live").get().to_string()),
+    ]);
+    t.row(["pool utilization".to_string(), live(pool_util)]);
+    t.row([
+        "greedy plans".to_string(),
+        count("quasar.core.greedy.plans").to_string(),
+    ]);
+    t.row([
+        "world ticks".to_string(),
+        count("quasar.cluster.world.ticks").to_string(),
+    ]);
+    t.row([
+        "world placements".to_string(),
+        count("quasar.cluster.world.placements").to_string(),
+    ]);
+    t.row([
+        "journal events".to_string(),
+        count("quasar.cluster.journal.events").to_string(),
+    ]);
+    t.render()
+}
+
 /// A fixed-width text table with a title, header, and rows.
 #[derive(Debug, Clone, Default)]
 pub struct TextTable {

@@ -328,10 +328,11 @@ impl Validator {
             );
             observed.push((ci, ln_speed(kind, v)));
         }
-        let t0 = std::time::Instant::now();
-        let row = self.exhaustive.classify_row(history, &observed);
-        out.decide_us_exhaustive
-            .push(t0.elapsed().as_secs_f64() * 1e6);
+        // Timed through the shared telemetry layer (span
+        // `core.classify.exhaustive` + registry histogram), like the
+        // parallel scheme's `classify_timed`.
+        let (row, exhaustive_us) = self.exhaustive.classify_row_timed(history, &observed);
+        out.decide_us_exhaustive.push(exhaustive_us);
 
         // Score against a subsample of joint columns (evaluating ground
         // truth on the full cross product is prohibitively slow and adds

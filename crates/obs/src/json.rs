@@ -1,0 +1,247 @@
+//! Minimal hand-rolled JSON helpers: string escaping, float formatting,
+//! and a recursive-descent validator.
+//!
+//! The workspace builds offline (no serde), so the exporters in
+//! [`crate::trace`] emit JSON by hand. The validator is the pure-rust
+//! stand-in for CI's `jq -e type` check: it accepts exactly the JSON
+//! grammar (RFC 8259), so any exporter bug that produces malformed
+//! output fails a test locally before it fails `jq` in CI.
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number token. JSON has no NaN/Infinity, so
+/// non-finite values render as `0`; integral values render without a
+/// fractional part.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // `{}` on f64 yields a valid JSON number for these magnitudes
+        // (leading digit present; exponents only far outside our range).
+        format!("{v}")
+    }
+}
+
+/// Validates that `s` is exactly one JSON value (with optional
+/// surrounding whitespace). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = skip_ws(b, 0);
+    i = value(b, i)?;
+    i = skip_ws(b, i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn value(b: &[u8], i: usize) -> Result<usize, usize> {
+    match b.get(i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(b'-' | b'0'..=b'9') => num(b, i),
+        _ => Err(i),
+    }
+}
+
+fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, usize> {
+    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(i)
+    }
+}
+
+fn object(b: &[u8], mut i: usize) -> Result<usize, usize> {
+    i = skip_ws(b, i + 1); // past '{'
+    if b.get(i) == Some(&b'}') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = string(b, i)?;
+        i = skip_ws(b, i);
+        if b.get(i) != Some(&b':') {
+            return Err(i);
+        }
+        i = skip_ws(b, i + 1);
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(i),
+        }
+    }
+}
+
+fn array(b: &[u8], mut i: usize) -> Result<usize, usize> {
+    i = skip_ws(b, i + 1); // past '['
+    if b.get(i) == Some(&b']') {
+        return Ok(i + 1);
+    }
+    loop {
+        i = value(b, i)?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i = skip_ws(b, i + 1),
+            Some(b']') => return Ok(i + 1),
+            _ => return Err(i),
+        }
+    }
+}
+
+fn string(b: &[u8], mut i: usize) -> Result<usize, usize> {
+    if b.get(i) != Some(&b'"') {
+        return Err(i);
+    }
+    i += 1;
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'"' => return Ok(i + 1),
+            b'\\' => match b.get(i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                Some(b'u')
+                    if b.len() >= i + 6 && b[i + 2..i + 6].iter().all(u8::is_ascii_hexdigit) =>
+                {
+                    i += 6;
+                }
+                _ => return Err(i),
+            },
+            0x00..=0x1f => return Err(i),
+            _ => i += 1,
+        }
+    }
+    Err(i)
+}
+
+fn num(b: &[u8], mut i: usize) -> Result<usize, usize> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return Err(start),
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !matches!(b.get(i), Some(b'0'..=b'9')) {
+            return Err(i);
+        }
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(b.get(i), Some(b'0'..=b'9')) {
+            return Err(i);
+        }
+        while matches!(b.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        let quoted = format!("\"{}\"", escape("tab\there \"quoted\"\r\n"));
+        validate(&quoted).unwrap();
+    }
+
+    #[test]
+    fn number_formats_are_valid_json() {
+        for v in [0.0, -1.5, 3.25, 1e12, 123456.789, f64::NAN, f64::INFINITY] {
+            validate(&number(v)).unwrap();
+        }
+        assert_eq!(number(42.0), "42");
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(2.5), "2.5");
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            " -12.5e+3 ",
+            "\"hi\\u00e9\"",
+            "[]",
+            "[1, [2, {\"k\": null}], \"s\"]",
+            "{}",
+            "{\"a\": {\"b\": [1.5, false]}, \"c\": \"\"}",
+        ] {
+            validate(doc).unwrap_or_else(|at| panic!("{doc} rejected at {at}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "{} extra",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(doc).is_err(), "{doc} wrongly accepted");
+        }
+    }
+}
