@@ -21,6 +21,44 @@ fn svd_of_history_sized_matrix(c: &mut Criterion) {
     c.bench_function("svd_25x81", |b| b.iter(|| black_box(quasar_cf::svd(&a))));
 }
 
+fn svd_kernel_vs_reference(c: &mut Criterion) {
+    // Flat-slice Jacobi kernel against the frozen scalar-loop reference,
+    // per size: the two 25-row shapes bracket the history matrix, the
+    // square one isolates the rotation-dominated regime. Inputs are the
+    // full-rank matrices `bench-kernels` uses (see
+    // `quasar_experiments::bench_kernels`).
+    for (rows, cols) in [(25usize, 16usize), (25, 81), (64, 64)] {
+        let a = quasar_experiments::bench_kernels::svd_input(rows, cols);
+        c.bench_function(&format!("svd_kernel_{rows}x{cols}"), |b| {
+            b.iter(|| black_box(quasar_cf::svd(&a)))
+        });
+        c.bench_function(&format!("svd_reference_{rows}x{cols}"), |b| {
+            b.iter(|| black_box(quasar_cf::reference::svd_reference(&a)))
+        });
+    }
+}
+
+fn sgd_kernel_vs_reference(c: &mut Criterion) {
+    // Fused SGD train against the frozen get/set reference, per density
+    // of the history-sized sparse matrix (same inputs as `bench-kernels`;
+    // they train at the production rank cap of 8).
+    for density_pct in [30usize, 60, 95] {
+        let sparse = quasar_experiments::bench_kernels::sgd_input(density_pct);
+        let config = SgdConfig {
+            max_epochs: 60,
+            ..SgdConfig::default()
+        };
+        c.bench_function(&format!("sgd_kernel_25x81_d{density_pct}"), |b| {
+            b.iter(|| black_box(PqModel::train(&sparse, &config)))
+        });
+        c.bench_function(&format!("sgd_reference_25x81_d{density_pct}"), |b| {
+            b.iter(|| {
+                black_box(quasar_cf::reference::train_reference(&sparse, &config))
+            })
+        });
+    }
+}
+
 fn pq_reconstruction(c: &mut Criterion) {
     let mut sparse = SparseMatrix::new(25, 81);
     for r in 0..25 {
@@ -204,7 +242,8 @@ fn simulation_tick(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = svd_of_history_sized_matrix, pq_reconstruction, profile_and_classify,
+    targets = svd_of_history_sized_matrix, svd_kernel_vs_reference, sgd_kernel_vs_reference,
+        pq_reconstruction, profile_and_classify,
         classification_parallelism, pool_fan_out, greedy_planning, simulation_tick
 }
 criterion_main!(micro);

@@ -71,19 +71,19 @@ impl DenseMatrix {
         }
     }
 
-    /// Creates a matrix by evaluating `f(row, col)`.
+    /// Creates a matrix by evaluating `f(row, col)` in row-major order.
     pub fn from_fn(
         rows: usize,
         cols: usize,
         mut f: impl FnMut(usize, usize) -> f64,
     ) -> DenseMatrix {
-        let mut m = DenseMatrix::zeros(rows, cols);
+        let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
-                m.set(r, c, f(r, c));
+                data.push(f(r, c));
             }
         }
-        m
+        DenseMatrix::from_vec(rows, cols, data)
     }
 
     /// The `n × n` identity matrix.
@@ -149,44 +149,76 @@ impl DenseMatrix {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// A mutable view of row `row` as a slice.
+    ///
+    /// Invalidates the cached [`DenseMatrix::fingerprint`], like any
+    /// other mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row out of bounds");
+        self.fp = OnceLock::new();
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The underlying row-major data, mutably. Invalidates the cached
+    /// [`DenseMatrix::fingerprint`].
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.fp = OnceLock::new();
+        &mut self.data
+    }
+
     /// Copies column `col` into a new vector.
     pub fn col_vec(&self, col: usize) -> Vec<f64> {
         (0..self.rows).map(|r| self.get(r, col)).collect()
     }
 
     /// The transpose of this matrix.
+    ///
+    /// Reads each row as a contiguous slice and scatters it into the
+    /// output column — one pass, no per-element bounds checks.
     pub fn transpose(&self) -> DenseMatrix {
-        DenseMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        let mut data = vec![0.0; self.rows * self.cols];
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                data[c * self.rows + r] = v;
+            }
+        }
+        DenseMatrix::from_vec(self.cols, self.rows, data)
     }
 
     /// Matrix product `self × rhs`.
+    ///
+    /// Accumulates `a_ik · rhs[k, ·]` into the output row slice (the
+    /// classic ikj loop order on contiguous rows).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must match");
-        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
+        let mut data = vec![0.0; self.rows * rhs.cols];
+        for (i, out_row) in data.chunks_exact_mut(rhs.cols).enumerate() {
+            for (k, &a) in self.row(i).iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                    *o += a * b;
                 }
             }
         }
-        out
+        DenseMatrix::from_vec(self.rows, rhs.cols, data)
     }
 
     /// Mean of each column.
     pub fn col_means(&self) -> Vec<f64> {
         let mut means = vec![0.0; self.cols];
         for r in 0..self.rows {
-            for (c, m) in means.iter_mut().enumerate() {
-                *m += self.get(r, c);
+            for (m, &v) in means.iter_mut().zip(self.row(r)) {
+                *m += v;
             }
         }
         for m in &mut means {

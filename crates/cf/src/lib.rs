@@ -24,6 +24,11 @@
 //! * [`Reconstructor`] — the end-to-end pipeline (mean-fill → SVD →
 //!   PQ-init → SGD → predict) used by Quasar's four classifications.
 //!
+//! The SVD and SGD kernels are flat-slice implementations with a strict
+//! **bit-identical-output contract** against the frozen pre-refactor
+//! scalar loops in [`reference`]; property tests enforce the contract
+//! and `quasar-experiments bench-kernels` measures the speedup.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,3 +62,22 @@ pub use pq::{PqModel, SgdConfig};
 pub use reconstruct::{ReconstructError, Reconstructor};
 pub use sparse::SparseMatrix;
 pub use svd::{svd, Svd};
+
+/// Frozen pre-refactor scalar-loop kernels, kept as correctness oracles.
+///
+/// The slice kernels ([`svd`], [`PqModel::train`]) must produce
+/// bit-identical output to these; property tests assert it and the
+/// `bench-kernels` emitter measures the before/after speedup. These are
+/// reference implementations only — nothing on the classification fast
+/// path calls them.
+pub mod reference {
+    pub use crate::svd::svd_reference;
+
+    use crate::pq::{PqModel, SgdConfig};
+    use crate::sparse::SparseMatrix;
+
+    /// The pre-refactor SGD training loop; see [`PqModel::train_reference`].
+    pub fn train_reference(a: &SparseMatrix, config: &SgdConfig) -> PqModel {
+        PqModel::train_reference(a, config)
+    }
+}

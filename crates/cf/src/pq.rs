@@ -1,11 +1,97 @@
 //! PQ-reconstruction: a latent-factor model trained with SGD.
+//!
+//! The training inner loop ([`PqModel::train`]) is a fused slice kernel:
+//! per observed entry it takes one mutable row slice from each factor
+//! matrix and runs predict + bias + factor update in a single pass,
+//! instead of `2·rank` bounds-checked `get`/`set` pairs (each of which
+//! also reset the matrix fingerprint memo). The floating-point operation
+//! order matches the original scalar loops exactly, so trained models
+//! are **bit-identical** to [`PqModel::train_reference`], the frozen
+//! pre-refactor implementation kept for property tests and the kernel
+//! benchmarks.
 
+use std::sync::OnceLock;
+
+use quasar_obs::registry::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dense::DenseMatrix;
 use crate::sparse::SparseMatrix;
-use crate::svd::{svd, Svd};
+use crate::svd::{svd, svd_reference, Svd};
+
+/// Registry handle for `quasar.cf.sgd.epochs`. Epochs are a pure
+/// function of the training input, so the counter stays in
+/// deterministic snapshots.
+fn sgd_metrics() -> &'static Counter {
+    static METRICS: OnceLock<Counter> = OnceLock::new();
+    METRICS.get_or_init(|| Registry::global().counter("quasar.cf.sgd.epochs"))
+}
+
+/// One SGD pass over `order`, returning the accumulated squared error.
+///
+/// Monomorphized per latent rank: `RANK > 0` turns the factor slices
+/// into `&mut [f64; RANK]` so the dot product and the update loop fully
+/// unroll (rank is 1–8 in practice — short enough that loop control
+/// otherwise dominates). `RANK == 0` is the dynamic fallback for ranks
+/// outside the specialized range. Both paths execute the identical
+/// floating-point operations in identical order, so the trained model
+/// does not depend on which one ran.
+// The flat argument list is forced by the `Pass` fn-pointer dispatch in
+// `run_sgd`: all rank instantiations must share one plain fn signature.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn sgd_entry_pass<const RANK: usize>(
+    rank: usize,
+    order: &[(usize, usize, f64)],
+    q_all: &mut [f64],
+    p_all: &mut [f64],
+    row_bias: &mut [f64],
+    mu: f64,
+    eta: f64,
+    lambda: f64,
+) -> f64 {
+    debug_assert!(RANK == 0 || RANK == rank);
+    let mut sq_err = 0.0;
+    for &(u, i, r_ui) in order {
+        if RANK > 0 {
+            let q: &mut [f64; RANK] = (&mut q_all[u * RANK..u * RANK + RANK])
+                .try_into()
+                .expect("slice length is RANK");
+            let p: &mut [f64; RANK] = (&mut p_all[i * RANK..i * RANK + RANK])
+                .try_into()
+                .expect("slice length is RANK");
+            let mut dot = 0.0;
+            for k in 0..RANK {
+                dot += q[k] * p[k];
+            }
+            let err = r_ui - (mu + row_bias[u] + dot);
+            sq_err += err * err;
+            row_bias[u] += eta * (err - lambda * row_bias[u]);
+            for k in 0..RANK {
+                let (q0, p0) = (q[k], p[k]);
+                q[k] = q0 + eta * (err * p0 - lambda * q0);
+                p[k] = p0 + eta * (err * q0 - lambda * p0);
+            }
+        } else {
+            let q = &mut q_all[u * rank..u * rank + rank];
+            let p = &mut p_all[i * rank..i * rank + rank];
+            let mut dot = 0.0;
+            for (&qk, &pk) in q.iter().zip(p.iter()) {
+                dot += qk * pk;
+            }
+            let err = r_ui - (mu + row_bias[u] + dot);
+            sq_err += err * err;
+            row_bias[u] += eta * (err - lambda * row_bias[u]);
+            for (qk, pk) in q.iter_mut().zip(p.iter_mut()) {
+                let (q0, p0) = (*qk, *pk);
+                *qk = q0 + eta * (err * p0 - lambda * q0);
+                *pk = p0 + eta * (err * q0 - lambda * p0);
+            }
+        }
+    }
+    sq_err
+}
 
 /// Hyper-parameters for the SGD training loop.
 ///
@@ -82,16 +168,9 @@ pub struct PqModel {
 }
 
 impl PqModel {
-    /// Trains a model on the observed entries of `a`.
-    ///
-    /// Initialization follows the paper: SVD of the (mean-filled) matrix,
-    /// then `Q ← U` and `Pᵀ ← Σ·Vᵀ`, then SGD over the observed entries
-    /// until the residual norm becomes marginal.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a` has no observed entries.
-    pub fn train(a: &SparseMatrix, config: &SgdConfig) -> PqModel {
+    /// Computes `μ`, the per-row biases, and the rank for the SVD warm
+    /// start — everything `train` needs before touching the factors.
+    fn init_stats(a: &SparseMatrix, config: &SgdConfig) -> (f64, Vec<f64>, Svd, usize) {
         assert!(!a.is_empty(), "cannot train on an empty matrix");
 
         let mu = a.mean().expect("matrix is non-empty");
@@ -118,8 +197,151 @@ impl PqModel {
             .min(a.rows())
             .min(a.cols())
             .max(1);
+        (mu, row_bias, decomposition, rank)
+    }
 
-        // Q ← U_r, P ← V_r · Σ_r (so that Q·Pᵀ = U Σ Vᵀ).
+    /// Trains a model on the observed entries of `a`.
+    ///
+    /// Initialization follows the paper: SVD of the (mean-filled) matrix,
+    /// then `Q ← U` and `Pᵀ ← Σ·Vᵀ`, then SGD over the observed entries
+    /// until the residual norm becomes marginal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has no observed entries.
+    pub fn train(a: &SparseMatrix, config: &SgdConfig) -> PqModel {
+        let (mu, row_bias, decomposition, rank) = PqModel::init_stats(a, config);
+
+        // Q ← U_r, P ← V_r · Σ_r (so that Q·Pᵀ = U Σ Vᵀ), copied row by
+        // row from the factor slices.
+        let mut row_factors = DenseMatrix::zeros(a.rows(), rank);
+        for r in 0..a.rows() {
+            row_factors
+                .row_mut(r)
+                .copy_from_slice(&decomposition.u.row(r)[..rank]);
+        }
+        let sigma = &decomposition.singular_values[..rank];
+        let mut col_factors = DenseMatrix::zeros(a.cols(), rank);
+        for c in 0..a.cols() {
+            let vrow = &decomposition.v.row(c)[..rank];
+            for ((dst, &v), &s) in col_factors.row_mut(c).iter_mut().zip(vrow).zip(sigma) {
+                *dst = v * s;
+            }
+        }
+
+        let mut model = PqModel {
+            mu,
+            row_bias,
+            row_factors,
+            col_factors,
+            rank,
+            epochs_run: 0,
+            final_residual: f64::INFINITY,
+        };
+        model.run_sgd(a, config);
+        model
+    }
+
+    /// Fused SGD: one pass per observed entry over a `(q_u, p_i)` row
+    /// slice pair — predict, bias update, and factor update together,
+    /// monomorphized per latent rank (see [`sgd_entry_pass`]).
+    /// Operation order matches [`PqModel::run_sgd_reference`] exactly, so
+    /// every intermediate (and hence the trained model) is bit-identical.
+    fn run_sgd(&mut self, a: &SparseMatrix, config: &SgdConfig) {
+        let mut order: Vec<(usize, usize, f64)> = a.iter().collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let eta = config.learning_rate;
+        let lambda = config.regularization;
+        let epochs_metric = sgd_metrics();
+
+        // Disjoint mutable views of the model: the factor buffers are
+        // borrowed (and their fingerprints invalidated) once per training
+        // run instead of once per `set`.
+        let PqModel {
+            mu,
+            row_bias,
+            row_factors,
+            col_factors,
+            rank,
+            epochs_run,
+            final_residual,
+        } = self;
+        let (mu, rank) = (*mu, *rank);
+        let q_all = row_factors.as_mut_slice();
+        let p_all = col_factors.as_mut_slice();
+
+        // Pick the rank-specialized entry pass once per training run.
+        type Pass = fn(
+            usize,
+            &[(usize, usize, f64)],
+            &mut [f64],
+            &mut [f64],
+            &mut [f64],
+            f64,
+            f64,
+            f64,
+        ) -> f64;
+        let pass: Pass = match rank {
+            1 => sgd_entry_pass::<1>,
+            2 => sgd_entry_pass::<2>,
+            3 => sgd_entry_pass::<3>,
+            4 => sgd_entry_pass::<4>,
+            5 => sgd_entry_pass::<5>,
+            6 => sgd_entry_pass::<6>,
+            7 => sgd_entry_pass::<7>,
+            8 => sgd_entry_pass::<8>,
+            _ => sgd_entry_pass::<0>,
+        };
+
+        for epoch in 0..config.max_epochs {
+            // Fisher-Yates shuffle of the visit order each epoch.
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let sq_err = pass(rank, &order, q_all, p_all, row_bias, mu, eta, lambda);
+            epochs_metric.inc();
+            *epochs_run = epoch + 1;
+            *final_residual = (sq_err / order.len() as f64).sqrt();
+            if *final_residual < config.tolerance {
+                break;
+            }
+        }
+    }
+
+    /// The pre-refactor training loop, frozen verbatim as the correctness
+    /// oracle: property tests assert [`PqModel::train`] matches it
+    /// bit-for-bit, and `quasar-experiments bench-kernels` measures the
+    /// fused kernel's speedup against it. Every factor access goes
+    /// through bounds-checked `get`/`set` (each `set` resetting the
+    /// fingerprint memo), and the SVD warm start uses
+    /// [`svd_reference`] — exactly the pre-PR shape.
+    pub fn train_reference(a: &SparseMatrix, config: &SgdConfig) -> PqModel {
+        assert!(!a.is_empty(), "cannot train on an empty matrix");
+
+        let mu = a.mean().expect("matrix is non-empty");
+        let mut row_bias = vec![0.0; a.rows()];
+        for (r, bias) in row_bias.iter_mut().enumerate() {
+            let entries = a.row_entries(r);
+            if !entries.is_empty() {
+                let mean: f64 = entries.iter().map(|(_, v)| v).sum::<f64>() / entries.len() as f64;
+                *bias = mean - mu;
+            }
+        }
+
+        let mut residuals = SparseMatrix::new(a.rows(), a.cols());
+        for (r, c, v) in a.iter() {
+            residuals.insert(r, c, v - mu - row_bias[r]);
+        }
+        let filled = residuals.to_dense_filled();
+        let decomposition: Svd = svd_reference(&filled);
+        let rank = decomposition
+            .rank_for_energy(config.energy)
+            .min(config.max_rank)
+            .min(a.rows())
+            .min(a.cols())
+            .max(1);
+
         let mut row_factors = DenseMatrix::zeros(a.rows(), rank);
         for r in 0..a.rows() {
             for k in 0..rank {
@@ -146,25 +368,29 @@ impl PqModel {
             epochs_run: 0,
             final_residual: f64::INFINITY,
         };
-        model.run_sgd(a, config);
+        model.run_sgd_reference(a, config);
         model
     }
 
-    fn run_sgd(&mut self, a: &SparseMatrix, config: &SgdConfig) {
+    /// The pre-refactor SGD loop (see [`PqModel::train_reference`]).
+    fn run_sgd_reference(&mut self, a: &SparseMatrix, config: &SgdConfig) {
         let mut order: Vec<(usize, usize, f64)> = a.iter().collect();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let eta = config.learning_rate;
         let lambda = config.regularization;
 
         for epoch in 0..config.max_epochs {
-            // Fisher-Yates shuffle of the visit order each epoch.
             for i in (1..order.len()).rev() {
                 let j = rng.random_range(0..=i);
                 order.swap(i, j);
             }
             let mut sq_err = 0.0;
             for &(u, i, r_ui) in &order {
-                let err = r_ui - self.predict(u, i);
+                let mut dot = 0.0;
+                for k in 0..self.rank {
+                    dot += self.row_factors.get(u, k) * self.col_factors.get(i, k);
+                }
+                let err = r_ui - (self.mu + self.row_bias[u] + dot);
                 sq_err += err * err;
                 self.row_bias[u] += eta * (err - lambda * self.row_bias[u]);
                 for k in 0..self.rank {
@@ -189,17 +415,33 @@ impl PqModel {
     /// Panics if indices are out of bounds.
     pub fn predict(&self, u: usize, i: usize) -> f64 {
         let mut dot = 0.0;
-        for k in 0..self.rank {
-            dot += self.row_factors.get(u, k) * self.col_factors.get(i, k);
+        for (&qk, &pk) in self.row_factors.row(u).iter().zip(self.col_factors.row(i)) {
+            dot += qk * pk;
         }
         self.mu + self.row_bias[u] + dot
     }
 
     /// Dense matrix of predictions for every cell.
+    ///
+    /// Walks the factor rows as slices; `μ + b_u` is hoisted per row,
+    /// which keeps the left-associated order of [`PqModel::predict`]
+    /// (`(μ + b_u) + q_u·p_i`) bit-for-bit.
     pub fn predict_all(&self) -> DenseMatrix {
-        DenseMatrix::from_fn(self.row_factors.rows(), self.col_factors.rows(), |u, i| {
-            self.predict(u, i)
-        })
+        let rows = self.row_factors.rows();
+        let cols = self.col_factors.rows();
+        let mut data = Vec::with_capacity(rows * cols);
+        for u in 0..rows {
+            let q = self.row_factors.row(u);
+            let base = self.mu + self.row_bias[u];
+            for i in 0..cols {
+                let mut dot = 0.0;
+                for (&qk, &pk) in q.iter().zip(self.col_factors.row(i)) {
+                    dot += qk * pk;
+                }
+                data.push(base + dot);
+            }
+        }
+        DenseMatrix::from_vec(rows, cols, data)
     }
 
     /// Latent rank of the model.
@@ -305,6 +547,47 @@ mod tests {
         let model = PqModel::train(&sparse, &config);
         assert!(model.epochs_run() < config.max_epochs);
         assert!(model.final_residual() <= 0.05);
+    }
+
+    #[test]
+    fn fused_training_is_bit_identical_to_reference() {
+        let (sparse, _) = low_rank_sparse(9, 7, 2, 3);
+        let fast = PqModel::train(&sparse, &SgdConfig::default());
+        let slow = PqModel::train_reference(&sparse, &SgdConfig::default());
+        assert_eq!(fast.rank(), slow.rank());
+        assert_eq!(fast.epochs_run(), slow.epochs_run());
+        assert_eq!(
+            fast.final_residual().to_bits(),
+            slow.final_residual().to_bits()
+        );
+        let bits = |m: &DenseMatrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fast.row_factors), bits(&slow.row_factors));
+        assert_eq!(bits(&fast.col_factors), bits(&slow.col_factors));
+        let bias_bits = |b: &[f64]| b.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bias_bits(&fast.row_bias), bias_bits(&slow.row_bias));
+    }
+
+    #[test]
+    fn predict_all_matches_per_cell_predict_bitwise() {
+        let (sparse, _) = low_rank_sparse(6, 8, 2, 3);
+        let model = PqModel::train(&sparse, &SgdConfig::default());
+        let all = model.predict_all();
+        for u in 0..6 {
+            for i in 0..8 {
+                assert_eq!(all.get(u, i).to_bits(), model.predict(u, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let epochs = sgd_metrics();
+        let before = epochs.get();
+        let (sparse, _) = low_rank_sparse(5, 5, 2, 3);
+        let model = PqModel::train(&sparse, &SgdConfig::default());
+        // Lower bound only: sibling tests may train concurrently and
+        // bump the same process-global counter.
+        assert!(epochs.get() - before >= model.epochs_run() as u64);
     }
 
     #[test]

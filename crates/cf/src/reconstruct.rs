@@ -1,10 +1,10 @@
 //! The end-to-end reconstruction pipeline used by Quasar's classifier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use quasar_obs::registry::{Counter, Registry};
 
@@ -57,6 +57,12 @@ struct RowCacheInner {
     head: Option<u128>,
     /// Least-recently-used key (next eviction victim).
     tail: Option<u128>,
+    /// Keys currently being computed by some thread. Arrivals for an
+    /// in-flight key wait on [`RowCache::computed`] instead of
+    /// recomputing, which is what makes the hit/miss counters (and the
+    /// kernel work counters downstream) scheduling-invariant: every key
+    /// is computed exactly once no matter how calls interleave.
+    pending: HashSet<u128>,
 }
 
 impl RowCacheInner {
@@ -132,11 +138,38 @@ impl RowCacheInner {
 /// cached row is observably identical to recomputing it — including
 /// every bit of every float — which is what lets the cache stay enabled
 /// under the deterministic parallel runner.
+///
+/// A per-key once-guard (`RowCacheInner::pending` + [`RowCache::computed`])
+/// ensures each key is computed at most once even when several threads
+/// miss concurrently: the first arrival computes, later arrivals block
+/// until the row lands and then count a hit. Absent evictions, hit and
+/// miss totals therefore match a serial run exactly, so the counters can
+/// live in deterministic snapshots.
 #[derive(Debug, Default)]
 struct RowCache {
     inner: Mutex<RowCacheInner>,
+    /// Signalled whenever a pending key resolves (row inserted) or is
+    /// abandoned (compute failed or panicked).
+    computed: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Removes a key from the pending set — and wakes the waiters — when the
+/// computing scope ends, **including** by error return or panic, so a
+/// failed compute can never strand other threads in the wait loop.
+struct PendingGuard<'a> {
+    cache: &'a RowCache,
+    key: u128,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.cache.inner.lock().expect("row cache poisoned");
+        inner.pending.remove(&self.key);
+        drop(inner);
+        self.cache.computed.notify_all();
+    }
 }
 
 /// Error returned when a sparse matrix cannot be reconstructed.
@@ -252,9 +285,11 @@ impl Reconstructor {
             let (lo, hi) = observed_range(a);
             let span = (hi - lo).max(1e-12);
             let (lo, hi) = (lo - 0.25 * span, hi + 0.25 * span);
-            dense = DenseMatrix::from_fn(dense.rows(), dense.cols(), |r, c| {
-                dense.get(r, c).clamp(lo, hi)
-            });
+            // Clamp in place: elementwise, so bit-identical to the old
+            // full-matrix `from_fn` rebuild without the allocation.
+            for v in dense.as_mut_slice() {
+                *v = v.clamp(lo, hi);
+            }
         }
         Ok(dense)
     }
@@ -284,23 +319,46 @@ impl Reconstructor {
         }
         let key = self.row_key(history, target);
         let (hits, misses, evictions) = cache_metrics();
-        {
-            let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
+        let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
+        loop {
             if let Some(row) = inner.map.get(&key).map(|entry| entry.row.clone()) {
                 inner.touch(key);
                 self.row_cache.hits.fetch_add(1, Ordering::Relaxed);
                 hits.inc();
                 return Ok(row);
             }
+            if !inner.pending.contains(&key) {
+                break;
+            }
+            // Another thread is computing this key: wait for it rather
+            // than duplicating the work. The hit is counted above once
+            // the row lands (exactly once per call).
+            inner = self
+                .row_cache
+                .computed
+                .wait(inner)
+                .expect("row cache poisoned");
         }
+        // First arrival for this key: claim it, then compute outside the
+        // lock. The guard clears the claim (and wakes waiters) on every
+        // exit path, including panics.
+        inner.pending.insert(key);
+        drop(inner);
         self.row_cache.misses.fetch_add(1, Ordering::Relaxed);
         misses.inc();
-        let row = self.reconstruct_row_uncached(history, target)?;
-        let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
-        if inner.insert(key, row.clone()) {
-            evictions.inc();
+        let guard = PendingGuard {
+            cache: &self.row_cache,
+            key,
+        };
+        let row = self.reconstruct_row_uncached(history, target);
+        if let Ok(row) = &row {
+            let mut inner = self.row_cache.inner.lock().expect("row cache poisoned");
+            if inner.insert(key, row.clone()) {
+                evictions.inc();
+            }
         }
-        Ok(row)
+        drop(guard);
+        row
     }
 
     /// Cache hits and misses of the row memo, for benchmarks and tests.
@@ -342,19 +400,16 @@ impl Reconstructor {
         history: &DenseMatrix,
         target: &[(usize, f64)],
     ) -> Result<Vec<f64>, ReconstructError> {
-        let cols = history.cols();
-        let mut sparse = SparseMatrix::new(history.rows() + 1, cols);
-        for r in 0..history.rows() {
-            for c in 0..cols {
-                sparse.insert(r, c, history.get(r, c));
-            }
-        }
-        let target_row = history.rows();
+        // Bulk-copy the fully-observed history (per-cell `insert` here
+        // was O(rows · cols²) from duplicate scans), then append the
+        // sparse target row.
+        let mut sparse = SparseMatrix::from_dense_rows(history);
+        let target_row = sparse.push_row();
         for &(c, v) in target {
             sparse.insert(target_row, c, v);
         }
         let dense = self.try_reconstruct(&sparse)?;
-        Ok((0..cols).map(|c| dense.get(target_row, c)).collect())
+        Ok(dense.row(target_row).to_vec())
     }
 }
 
@@ -536,6 +591,33 @@ mod tests {
             ROW_CACHE_CAP as u64 + 2,
             "key 1 must have been the eviction victim"
         );
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_compute_once_and_count_deterministically() {
+        // The per-key once-guard must collapse racing lookups into one
+        // compute: whatever the interleaving, N calls on one key are
+        // exactly 1 miss + N−1 hits, same as a serial run.
+        let history = DenseMatrix::from_fn(6, 5, |r, c| (r as f64 + 1.5) * (c as f64 + 0.5));
+        let rec = Reconstructor::new();
+        let threads = 8;
+        let rows: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rec = &rec;
+                    let history = &history;
+                    scope.spawn(move || {
+                        rec.reconstruct_row(history, &[(0, 1.2), (3, 4.8)]).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        for row in &rows[1..] {
+            assert_eq!(bits(&rows[0]), bits(row), "all threads see identical bits");
+        }
+        assert_eq!(rec.row_cache_stats(), (threads as u64 - 1, 1));
     }
 
     #[test]

@@ -145,6 +145,42 @@ impl SparseMatrix {
         dense
     }
 
+    /// Builds a fully-observed sparse matrix from the rows of `dense` in
+    /// one pass.
+    ///
+    /// Equivalent to calling [`SparseMatrix::insert`] for every cell in
+    /// row-major order, but without `insert`'s per-call linear duplicate
+    /// scan of the row (which makes dense per-cell insertion
+    /// O(rows · cols²)); each row slice is copied straight into the
+    /// entry list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not finite.
+    pub fn from_dense_rows(dense: &DenseMatrix) -> SparseMatrix {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let entries: Vec<Vec<(usize, f64)>> = (0..rows)
+            .map(|r| {
+                dense
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &v)| {
+                        assert!(v.is_finite(), "observations must be finite");
+                        (c, v)
+                    })
+                    .collect()
+            })
+            .collect();
+        SparseMatrix {
+            rows,
+            cols,
+            entries,
+            count: rows * cols,
+        }
+    }
+
     /// Appends an all-missing row, returning its index.
     pub fn push_row(&mut self) -> usize {
         self.entries.push(Vec::new());
@@ -203,6 +239,28 @@ mod tests {
         assert_eq!(a.rows(), 2);
         a.insert(1, 1, 9.0);
         assert_eq!(a.get(1, 1), Some(9.0));
+    }
+
+    #[test]
+    fn from_dense_rows_equals_per_cell_insertion() {
+        let dense = DenseMatrix::from_fn(4, 5, |r, c| (r * 5 + c) as f64 * 0.5 - 3.0);
+        let bulk = SparseMatrix::from_dense_rows(&dense);
+        let mut cellwise = SparseMatrix::new(4, 5);
+        for r in 0..4 {
+            for c in 0..5 {
+                cellwise.insert(r, c, dense.get(r, c));
+            }
+        }
+        assert_eq!(bulk, cellwise);
+        assert_eq!(bulk.len(), 20);
+        assert!((bulk.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "observations must be finite")]
+    fn from_dense_rows_rejects_non_finite() {
+        let dense = DenseMatrix::from_fn(1, 2, |_, c| if c == 0 { 1.0 } else { f64::INFINITY });
+        let _ = SparseMatrix::from_dense_rows(&dense);
     }
 
     #[test]

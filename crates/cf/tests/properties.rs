@@ -2,7 +2,12 @@
 
 use proptest::prelude::*;
 
+use quasar_cf::reference::{svd_reference, train_reference};
 use quasar_cf::{svd, DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
 
 /// Strategy: a small dense matrix with bounded entries.
 fn dense_matrix(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
@@ -124,6 +129,68 @@ proptest! {
         for (r, c, v) in a.iter() {
             prop_assert_eq!(dense.get(r, c), v);
         }
+    }
+
+    /// The flat-slice Jacobi kernel must match the frozen scalar-loop
+    /// reference **bit-for-bit** on every shape — tall, wide, square —
+    /// including `U`, `Σ`, and `V`, not just the reconstruction. This is
+    /// the contract that keeps every tracked figure CSV byte-identical.
+    #[test]
+    fn svd_is_bit_identical_to_reference(a in dense_matrix(10)) {
+        let fast = svd(&a);
+        let slow = svd_reference(&a);
+        prop_assert_eq!(bits(&fast.singular_values), bits(&slow.singular_values));
+        prop_assert_eq!(bits(fast.u.as_slice()), bits(slow.u.as_slice()));
+        prop_assert_eq!(bits(fast.v.as_slice()), bits(slow.v.as_slice()));
+        prop_assert_eq!(
+            bits(fast.reconstruct().as_slice()),
+            bits(slow.reconstruct().as_slice())
+        );
+    }
+
+    /// The fused SGD kernel must train to a bit-identical model across
+    /// densities: same rank, same epoch count, same residual bits, and
+    /// bit-identical predictions everywhere.
+    #[test]
+    fn sgd_training_is_bit_identical_to_reference(
+        entries in proptest::collection::vec((0usize..7, 0usize..9, -5.0..5.0f64), 5..63),
+        max_rank in 1usize..6,
+    ) {
+        let mut a = SparseMatrix::new(7, 9);
+        for (r, c, v) in entries {
+            a.insert(r, c, v);
+        }
+        prop_assume!(!a.is_empty());
+        // Cap epochs to keep 64 proptest cases fast; op order per epoch
+        // is what the contract is about.
+        let config = SgdConfig { max_epochs: 60, max_rank, ..SgdConfig::default() };
+        let fast = PqModel::train(&a, &config);
+        let slow = train_reference(&a, &config);
+        prop_assert_eq!(fast.rank(), slow.rank());
+        prop_assert_eq!(fast.epochs_run(), slow.epochs_run());
+        prop_assert_eq!(fast.final_residual().to_bits(), slow.final_residual().to_bits());
+        prop_assert_eq!(
+            bits(fast.predict_all().as_slice()),
+            bits(slow.predict_all().as_slice())
+        );
+    }
+
+    /// Bulk construction from dense rows is exactly per-cell insertion.
+    #[test]
+    fn from_dense_rows_matches_per_cell_insertion(a in dense_matrix(8)) {
+        let bulk = SparseMatrix::from_dense_rows(&a);
+        let mut cellwise = SparseMatrix::new(a.rows(), a.cols());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                cellwise.insert(r, c, a.get(r, c));
+            }
+        }
+        prop_assert_eq!(&bulk, &cellwise);
+        prop_assert_eq!(bulk.len(), a.rows() * a.cols());
+        prop_assert_eq!(
+            bits(bulk.to_dense_filled().as_slice()),
+            bits(cellwise.to_dense_filled().as_slice())
+        );
     }
 
     /// Sparse-matrix bookkeeping: density matches unique cells.

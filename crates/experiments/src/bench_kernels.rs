@@ -1,0 +1,260 @@
+//! `bench-kernels`: machine-readable before/after timings for the
+//! flat-slice CF math kernels.
+//!
+//! Times each slice kernel against its frozen pre-refactor reference
+//! (`quasar_cf::reference`) — the Jacobi SVD per matrix size and the
+//! fused SGD train per observation density — as the **median of N
+//! serial repetitions** (no worker pool involved; the container is
+//! 1-core and the kernels are what's being measured). The
+//! `quasar-experiments bench-kernels --json` CLI writes the result as
+//! `BENCH_kernels.json` so the perf trajectory is diffable from PR to
+//! PR; CI runs the quick scale and `jq`-validates the output.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+use quasar_cf::reference::{svd_reference, train_reference};
+use quasar_cf::{svd, DenseMatrix, PqModel, SgdConfig, SparseMatrix};
+
+use crate::report::TextTable;
+use crate::Scale;
+
+/// One kernel-vs-reference comparison.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Bench id, e.g. `svd_25x81` or `sgd_25x81_d60`.
+    pub name: String,
+    /// Median per-call time of the slice kernel, µs.
+    pub kernel_us: f64,
+    /// Median per-call time of the frozen reference loops, µs.
+    pub reference_us: f64,
+}
+
+impl KernelBench {
+    /// `reference_us / kernel_us` (how many times faster the kernel is).
+    pub fn speedup(&self) -> f64 {
+        self.reference_us / self.kernel_us
+    }
+}
+
+/// The full `bench-kernels` result set.
+#[derive(Debug, Clone)]
+pub struct KernelBenchReport {
+    /// Scale the benches ran at (`quick` shrinks reps and SGD epochs).
+    pub scale: Scale,
+    /// Repetitions per timing (median taken).
+    pub reps: usize,
+    /// All comparisons, SVD sizes then SGD densities.
+    pub benches: Vec<KernelBench>,
+}
+
+/// Medians over `reps` timed repetitions of `iters` calls each, as
+/// per-call microseconds: `(kernel, reference)`. One untimed warmup call
+/// of each side precedes the reps, and the two sides are timed
+/// **interleaved within each rep** — machine-speed drift (frequency
+/// scaling, background work) then lands on both sides of the ratio
+/// instead of skewing whichever happened to run second.
+fn median_pair_us(
+    reps: usize,
+    iters: usize,
+    mut kernel: impl FnMut(),
+    mut reference: impl FnMut(),
+) -> (f64, f64) {
+    let time_one = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+    };
+    kernel();
+    reference();
+    let mut kernel_times = Vec::with_capacity(reps);
+    let mut reference_times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        kernel_times.push(time_one(&mut kernel));
+        reference_times.push(time_one(&mut reference));
+    }
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    (median(&mut kernel_times), median(&mut reference_times))
+}
+
+/// Deterministic cell noise in `[0, 1)`: the SplitMix64 finalizer over
+/// the cell index.
+///
+/// The bench matrices mix this into their structured terms so they are
+/// **full rank**, like the real utilization histories the classifier
+/// decomposes. Degenerate (rank-deficient) inputs are the wrong thing to
+/// time: their trailing singular values decay to ~1e-156, one-sided
+/// Jacobi then spends its sweeps in subnormal arithmetic whose microcode
+/// assists cost the same in any memory layout, and `rank_for_energy`
+/// collapses the SGD rank to 1 so the factor loops have nothing to fuse.
+fn cell_noise(r: usize, c: usize) -> f64 {
+    let mut z = ((r as u64) << 32 | c as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as f64 / u64::MAX as f64
+}
+
+/// The dense matrix the SVD benches decompose: full-rank structured
+/// noise (see [`cell_noise`]) at the given shape.
+pub fn svd_input(rows: usize, cols: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |r, c| cell_noise(r, c) * 4.0 - 2.0)
+}
+
+/// The history-shaped sparse matrix used by the SGD benches, filled to
+/// roughly `density_pct` percent (column 0 stays fully observed so every
+/// row is anchored). A weak rank-1 trend plus zero-mean noise keeps the
+/// spectrum spread out, so training runs at the production rank cap
+/// (`max_rank = 8`) — the regime the fused factor loops are built for.
+pub fn sgd_input(density_pct: usize) -> SparseMatrix {
+    let mut sparse = SparseMatrix::new(25, 81);
+    for r in 0..25 {
+        for col in 0..81 {
+            if (r * 81 + col) * 31 % 100 < density_pct || col == 0 {
+                let trend = ((r + 1) * (col + 2)) as f64 / 200.0;
+                sparse.insert(r, col, trend + cell_noise(r, col) * 4.0 - 2.0);
+            }
+        }
+    }
+    sparse
+}
+
+/// Runs every kernel-vs-reference comparison at `scale`.
+pub fn run(scale: Scale) -> KernelBenchReport {
+    let (reps, sgd_epochs) = match scale {
+        Scale::Quick => (3, 20),
+        Scale::Full => (15, 800),
+    };
+    let mut benches = Vec::new();
+
+    // SVD per size: the two 25-row shapes bracket the history matrix
+    // (25×81 is the one the classifier decomposes on every arrival);
+    // the square one isolates the rotation-dominated regime.
+    for (rows, cols, iters) in [(25usize, 16usize, 8usize), (25, 81, 6), (64, 64, 2)] {
+        let a = svd_input(rows, cols);
+        let (kernel_us, reference_us) = median_pair_us(
+            reps,
+            iters,
+            || {
+                black_box(svd(black_box(&a)));
+            },
+            || {
+                black_box(svd_reference(black_box(&a)));
+            },
+        );
+        benches.push(KernelBench {
+            name: format!("svd_{rows}x{cols}"),
+            kernel_us,
+            reference_us,
+        });
+    }
+
+    // SGD train per density of the history-sized matrix. Full scale uses
+    // the production epoch cap; quick shrinks it so the CI smoke stays
+    // fast (the per-epoch inner loop is identical either way).
+    let config = SgdConfig {
+        max_epochs: sgd_epochs,
+        ..SgdConfig::default()
+    };
+    for density_pct in [30usize, 60, 95] {
+        let sparse = sgd_input(density_pct);
+        let (kernel_us, reference_us) = median_pair_us(
+            reps,
+            1,
+            || {
+                black_box(PqModel::train(black_box(&sparse), &config));
+            },
+            || {
+                black_box(train_reference(black_box(&sparse), &config));
+            },
+        );
+        benches.push(KernelBench {
+            name: format!("sgd_25x81_d{density_pct}"),
+            kernel_us,
+            reference_us,
+        });
+    }
+
+    KernelBenchReport {
+        scale,
+        reps,
+        benches,
+    }
+}
+
+impl KernelBenchReport {
+    /// Renders the result set as one JSON object
+    /// (`quasar.bench_kernels.v1` schema).
+    pub fn to_json(&self) -> String {
+        let scale = match self.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        };
+        let mut out = format!(
+            "{{\"schema\":\"quasar.bench_kernels.v1\",\"scale\":\"{scale}\",\"reps\":{},\"benches\":[",
+            self.reps
+        );
+        for (i, b) in self.benches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"name\":\"{}\",\"kernel_us\":{},\"reference_us\":{},\"speedup\":{}}}",
+                quasar_obs::json::escape(&b.name),
+                quasar_obs::json::number((b.kernel_us * 1e3).round() / 1e3),
+                quasar_obs::json::number((b.reference_us * 1e3).round() / 1e3),
+                quasar_obs::json::number((b.speedup() * 1e3).round() / 1e3),
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+impl fmt::Display for KernelBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(format!(
+            "CF kernel benches ({:?}, median of {} serial reps)",
+            self.scale, self.reps
+        ))
+        .header(["bench", "kernel (us)", "reference (us)", "speedup"]);
+        for b in &self.benches {
+            t.row([
+                b.name.clone(),
+                format!("{:.1}", b.kernel_us),
+                format!("{:.1}", b.reference_us),
+                format!("{:.2}x", b.speedup()),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_complete_and_valid_json() {
+        let report = run(Scale::Quick);
+        assert_eq!(report.benches.len(), 6);
+        let names: Vec<&str> = report.benches.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"svd_25x81"), "history-sized SVD present");
+        assert!(names.contains(&"sgd_25x81_d60"));
+        for b in &report.benches {
+            assert!(b.kernel_us > 0.0 && b.reference_us > 0.0, "{}", b.name);
+            assert!(b.speedup().is_finite());
+        }
+        let json = report.to_json();
+        quasar_obs::json::validate(&json)
+            .unwrap_or_else(|at| panic!("invalid bench JSON at byte {at}: {json}"));
+        let rendered = report.to_string();
+        assert!(rendered.contains("svd_25x81"));
+        assert!(rendered.contains("speedup"));
+    }
+}

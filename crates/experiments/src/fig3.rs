@@ -110,6 +110,14 @@ pub fn run_with(scale: Scale, threads: usize) -> Fig3Result {
         sweeps.push((app.name().to_string(), points));
     }
 
+    // The decision-time columns are live wall-clock measurements — the
+    // one thing in this CSV not derived from the seeds. Masked runs
+    // (the CI smokes, which `git diff` the tracked CSVs after a quick
+    // rerun) write them as NaN so the file is byte-identical across
+    // machines, thread counts, and kernel speeds; unmasked local runs
+    // keep the real timings.
+    let mask = crate::report::mask_live_timings();
+    let live = |v: f64| if mask { f64::NAN } else { v };
     let rows: Vec<Vec<f64>> = sweeps
         .iter()
         .enumerate()
@@ -122,8 +130,8 @@ pub fn run_with(scale: Scale, threads: usize) -> Fig3Result {
                     p.p90_hetero,
                     p.p90_interference,
                     p.profile_s,
-                    p.decide_us_parallel,
-                    p.decide_us_exhaustive,
+                    live(p.decide_us_parallel),
+                    live(p.decide_us_exhaustive),
                 ]
             })
         })

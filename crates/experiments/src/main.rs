@@ -5,12 +5,19 @@
 //! quasar-experiments all [--full] [--threads N]
 //! quasar-experiments trace <id> [--full] [--threads N]
 //!                    [--trace-out PATH] [--jsonl-out PATH]
+//! quasar-experiments bench-kernels [--full] [--json] [--out PATH]
 //! ```
 //!
 //! `--threads N` sets the worker count for experiments that fan out
 //! over the deterministic parallel runner (default: the machine's
 //! available parallelism; `--threads 1` forces the serial path). The
 //! printed reports are bit-identical for every thread count.
+//!
+//! `bench-kernels` times the flat-slice CF math kernels against their
+//! frozen pre-refactor references (median of N serial reps; `--full`
+//! raises the reps and uses the production SGD epoch cap). `--json`
+//! additionally writes the machine-readable result to `--out PATH`
+//! (default `BENCH_kernels.json`).
 //!
 //! `trace <id>` runs one experiment with span collection enabled and
 //! exports the telemetry: a Chrome `trace_event` JSON (load it in
@@ -30,7 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: quasar-experiments <id>... [--full] [--threads N]\n\
          \x20      quasar-experiments trace <id> [--full] [--threads N] \
-         [--trace-out PATH] [--jsonl-out PATH]"
+         [--trace-out PATH] [--jsonl-out PATH]\n\
+         \x20      quasar-experiments bench-kernels [--full] [--json] [--out PATH]"
     );
     eprintln!("ids: all {}", EXPERIMENT_IDS.join(" "));
     std::process::exit(2);
@@ -43,6 +51,9 @@ struct Options {
     trace_mode: bool,
     trace_out: Option<String>,
     jsonl_out: Option<String>,
+    bench_mode: bool,
+    bench_json: bool,
+    bench_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -53,6 +64,9 @@ fn parse_args(args: &[String]) -> Options {
         trace_mode: false,
         trace_out: None,
         jsonl_out: None,
+        bench_mode: false,
+        bench_json: false,
+        bench_out: None,
     };
     let path_flag = |args: &[String], i: &mut usize| -> String {
         *i += 1;
@@ -78,16 +92,19 @@ fn parse_args(args: &[String]) -> Options {
             }
             "--trace-out" => opts.trace_out = Some(path_flag(args, &mut i)),
             "--jsonl-out" => opts.jsonl_out = Some(path_flag(args, &mut i)),
+            "--json" => opts.bench_json = true,
+            "--out" => opts.bench_out = Some(path_flag(args, &mut i)),
             a if a.starts_with("--") => {
                 eprintln!("unknown flag: {a}");
                 usage();
             }
             "trace" if opts.ids.is_empty() && !opts.trace_mode => opts.trace_mode = true,
+            "bench-kernels" if opts.ids.is_empty() && !opts.bench_mode => opts.bench_mode = true,
             a => opts.ids.push(a.to_string()),
         }
         i += 1;
     }
-    if opts.ids.is_empty() {
+    if opts.ids.is_empty() && !opts.bench_mode {
         usage();
     }
     opts
@@ -159,10 +176,27 @@ fn run_trace(opts: &Options) {
     println!("{}", telemetry_summary());
 }
 
+fn run_bench_kernels(opts: &Options) {
+    if !opts.ids.is_empty() {
+        eprintln!("bench-kernels takes no experiment ids");
+        usage();
+    }
+    let report = quasar_experiments::bench_kernels::run(opts.scale);
+    println!("{report}");
+    if opts.bench_json {
+        let path = opts.bench_out.as_deref().unwrap_or("BENCH_kernels.json");
+        write_or_fail(path, &report.to_json(), "kernel bench results");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
 
+    if opts.bench_mode {
+        run_bench_kernels(&opts);
+        return;
+    }
     if opts.trace_mode {
         run_trace(&opts);
         return;

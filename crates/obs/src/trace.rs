@@ -18,9 +18,17 @@
 //! `(sim_time, name, args)` with synthetic timestamps. Two runs of the
 //! same workload at different `--threads` values produce byte-identical
 //! masked exports, which CI verifies with `cmp`.
+//!
+//! Collection is **per-thread**: each recording thread appends to its
+//! own buffer (registered globally on first use) and [`drain`] flushes
+//! them all, so the span-drop path never touches a shared mutex — only
+//! thread-local state and two relaxed atomics. Drain concatenates
+//! buffers in thread-registration order, which is scheduling-dependent;
+//! that's fine because unmasked exports re-sort by wall time and masked
+//! exports sort by the logical key above.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::json;
@@ -61,19 +69,34 @@ pub struct Event {
     pub seq: u64,
 }
 
-struct State {
-    epoch: Option<Instant>,
-    events: Vec<Event>,
-    dropped: u64,
+/// One thread's private event buffer. Events carry their raw start
+/// [`Instant`]; wall offsets against the epoch are computed at drain, so
+/// the record path needs no access to shared epoch state at all.
+#[derive(Default)]
+struct ThreadBuffer {
+    events: Mutex<Vec<(Event, Instant)>>,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
-static STATE: Mutex<State> = Mutex::new(State {
-    epoch: None,
-    events: Vec::new(),
-    dropped: 0,
-});
+/// Total buffered events across all threads, for [`EVENT_CAP`].
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+/// Every thread's buffer, in first-record order. Buffers of exited
+/// threads stay registered so their events survive until [`drain`].
+static BUFFERS: Mutex<Vec<Arc<ThreadBuffer>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: Arc<ThreadBuffer> = {
+        let buf = Arc::new(ThreadBuffer::default());
+        BUFFERS
+            .lock()
+            .expect("trace buffers poisoned")
+            .push(Arc::clone(&buf));
+        buf
+    };
+}
 
 /// Whether tracing is currently collecting. One relaxed atomic load —
 /// this is the entire cost of a disabled `span!`.
@@ -82,13 +105,16 @@ pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Starts collecting: clears any previous buffer, restarts the
+/// Starts collecting: clears every thread's buffer, restarts the
 /// wall-clock epoch and sequence numbering.
 pub fn enable() {
-    let mut st = STATE.lock().expect("trace state poisoned");
-    st.epoch = Some(Instant::now());
-    st.events.clear();
-    st.dropped = 0;
+    ENABLED.store(false, Ordering::Relaxed);
+    for buf in BUFFERS.lock().expect("trace buffers poisoned").iter() {
+        buf.events.lock().expect("trace buffer poisoned").clear();
+    }
+    *EPOCH.lock().expect("trace epoch poisoned") = Some(Instant::now());
+    COUNT.store(0, Ordering::Relaxed);
+    DROPPED.store(0, Ordering::Relaxed);
     SEQ.store(0, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -98,35 +124,50 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Stops collecting and returns the buffered events.
+/// Stops collecting and returns the buffered events, flushing every
+/// thread's buffer (in thread-registration order; exporters re-sort).
 pub fn drain() -> Vec<Event> {
     ENABLED.store(false, Ordering::Relaxed);
-    let mut st = STATE.lock().expect("trace state poisoned");
-    std::mem::take(&mut st.events)
+    let Some(epoch) = EPOCH.lock().expect("trace epoch poisoned").take() else {
+        return Vec::new();
+    };
+    let buffers = BUFFERS.lock().expect("trace buffers poisoned");
+    let mut events = Vec::with_capacity(COUNT.load(Ordering::Relaxed));
+    for buf in buffers.iter() {
+        for (mut ev, start) in buf.events.lock().expect("trace buffer poisoned").drain(..) {
+            ev.start_us = start
+                .checked_duration_since(epoch)
+                .unwrap_or(Duration::ZERO)
+                .as_micros() as u64;
+            events.push(ev);
+        }
+    }
+    COUNT.store(0, Ordering::Relaxed);
+    events
 }
 
 /// Events discarded because the buffer hit [`EVENT_CAP`], since the
 /// last [`enable`].
 pub fn dropped_events() -> u64 {
-    STATE.lock().expect("trace state poisoned").dropped
+    DROPPED.load(Ordering::Relaxed)
 }
 
 fn record(mut ev: Event, start: Instant) {
     if !tracing_enabled() {
         return;
     }
-    let mut st = STATE.lock().expect("trace state poisoned");
-    let Some(epoch) = st.epoch else { return };
-    if st.events.len() >= EVENT_CAP {
-        st.dropped += 1;
+    if COUNT.fetch_add(1, Ordering::Relaxed) >= EVENT_CAP {
+        COUNT.fetch_sub(1, Ordering::Relaxed);
+        DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    ev.start_us = start
-        .checked_duration_since(epoch)
-        .unwrap_or(Duration::ZERO)
-        .as_micros() as u64;
     ev.seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    st.events.push(ev);
+    LOCAL.with(|buf| {
+        buf.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push((ev, start));
+    });
 }
 
 /// Records a completed span (called by `SpanGuard::drop`).
@@ -414,6 +455,27 @@ mod tests {
         assert_eq!(dropped_events(), 0);
         // Buffer is cleared after drain.
         assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn drain_flushes_buffers_from_every_thread() {
+        let _guard = crate::test_lock();
+        enable();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                scope.spawn(move || {
+                    record_instant("quasar.test.cross_thread", format!("t={i}"), i as f64);
+                });
+            }
+        });
+        record_instant("quasar.test.local", String::new(), 9.0);
+        let events = drain();
+        assert_eq!(events.len(), 5, "every thread's buffer must be flushed");
+        let mut sims: Vec<f64> = events.iter().map(|e| e.sim_time).collect();
+        sims.sort_by(f64::total_cmp);
+        assert_eq!(sims, vec![0.0, 1.0, 2.0, 3.0, 9.0]);
+        assert_eq!(dropped_events(), 0);
+        assert!(drain().is_empty(), "buffers are cleared after drain");
     }
 
     #[test]
