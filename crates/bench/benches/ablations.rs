@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! Ablation benches for the design choices called out in DESIGN.md §6:
 //! joint vs decoupled allocation, 4-parallel vs exhaustive classification,
 //! profiling density, CF reconstruction vs a column-mean predictor, and
 //! scale-up-first vs scale-out-first sizing.

@@ -52,9 +52,7 @@ fn sgd_kernel_vs_reference(c: &mut Criterion) {
             b.iter(|| black_box(PqModel::train(&sparse, &config)))
         });
         c.bench_function(&format!("sgd_reference_25x81_d{density_pct}"), |b| {
-            b.iter(|| {
-                black_box(quasar_cf::reference::train_reference(&sparse, &config))
-            })
+            b.iter(|| black_box(quasar_cf::reference::train_reference(&sparse, &config)))
         });
     }
 }

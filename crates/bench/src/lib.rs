@@ -10,7 +10,7 @@
 //!   PQ-reconstruction, the four-way classification, greedy scheduling,
 //!   and a simulation tick.
 //! * `ablations.rs` — the design-choice ablations called out in
-//!   DESIGN.md §5 (joint vs decoupled allocation, 4-parallel vs
+//!   DESIGN.md §6 (joint vs decoupled allocation, 4-parallel vs
 //!   exhaustive classification, profiling density, CF reconstruction vs
 //!   a column-mean predictor).
 

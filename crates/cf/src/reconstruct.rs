@@ -606,9 +606,8 @@ mod tests {
                 .map(|_| {
                     let rec = &rec;
                     let history = &history;
-                    scope.spawn(move || {
-                        rec.reconstruct_row(history, &[(0, 1.2), (3, 4.8)]).unwrap()
-                    })
+                    scope
+                        .spawn(move || rec.reconstruct_row(history, &[(0, 1.2), (3, 4.8)]).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -41,6 +41,7 @@ mod observe;
 mod placement;
 mod profile;
 mod server;
+pub mod shard;
 mod sim;
 pub mod tasks;
 mod world;
@@ -53,5 +54,6 @@ pub use observe::Observation;
 pub use placement::{NodeAlloc, Placement};
 pub use profile::{ProfileConfig, ProfileResult};
 pub use server::{Server, ServerId};
+pub use shard::{Cell, CellReport, Seam};
 pub use sim::{PhaseChange, SimConfig, Simulation};
 pub use world::{CompletionRecord, JobState, QosRecord, World};

@@ -1,0 +1,434 @@
+//! Sharded cluster state: per-worker cells behind a narrow seam.
+//!
+//! The paper argues (§4.4, §6) that a cluster manager must keep admitting
+//! at datacenter scale. This module supplies the cluster-side half of
+//! that story: a [`Cell`] owns a disjoint slice of the servers (carved by
+//! [`ClusterSpec::partition`]), its own [`World`], and its own manager,
+//! so cells can run their admission rounds on separate worker threads
+//! without sharing any mutable simulation state. The only cross-cell
+//! structure is the [`Seam`] — a `Arc<Mutex<_>>`-guarded slot table of
+//! per-cell [`CellReport`]s, written once per round by each cell and read
+//! serially by the coordinator between rounds for routing and rebalance
+//! decisions.
+//!
+//! Determinism: every cell's world is seeded from `base_seed` mixed with
+//! the cell id, routing is least-loaded with lowest-cell-id tie-break over
+//! a serial arrival stream, and [`rebalance`] runs between rounds on the
+//! coordinator thread. Nothing observable depends on which OS thread ran
+//! which cell, so reports stay byte-identical across `--threads` *and*
+//! the parallel/serial boundary. The driver that actually fans cells out
+//! lives in `quasar_core` (which depends on this crate, not vice versa).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use quasar_obs::registry::{Counter, Gauge, Histogram, Registry};
+use quasar_workloads::{Workload, WorkloadId};
+
+use crate::cluster::{ClusterSpec, ClusterState};
+use crate::managers::Manager;
+use crate::sim::SimConfig;
+use crate::world::{JobState, World};
+
+/// Registry handles for the logical shard metrics
+/// (`quasar.cluster.shard.*`). These are driven by deterministic routing
+/// and admission, so they survive `Snapshot::deterministic()`; only the
+/// `quasar.cluster.shard.wall.*` family (recorded by the core driver) is
+/// scheduling-dependent.
+struct ShardMetrics {
+    admitted: Counter,
+    rebalanced: Counter,
+    queue_depth_max: Gauge,
+    occupancy_pct: Histogram,
+}
+
+fn shard_metrics() -> &'static ShardMetrics {
+    static METRICS: OnceLock<ShardMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        ShardMetrics {
+            admitted: reg.counter("quasar.cluster.shard.admitted"),
+            rebalanced: reg.counter("quasar.cluster.shard.rebalanced"),
+            queue_depth_max: reg.gauge("quasar.cluster.shard.queue_depth_max"),
+            occupancy_pct: reg.histogram(
+                "quasar.cluster.shard.occupancy_pct",
+                &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+            ),
+        }
+    })
+}
+
+/// SplitMix64-style finalizer mixing the base seed with a cell id, so
+/// sibling cells never share noise streams. (A local copy: `quasar_core`
+/// depends on this crate, so `par::derive_seed` is out of reach here.)
+fn mix_seed(base: u64, cell: u64) -> u64 {
+    let mut z = base ^ cell.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a cell publishes into the [`Seam`] at the end of each round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellReport {
+    /// Rounds this cell has run.
+    pub round: u64,
+    /// Jobs still waiting: queued in the inbox plus pending in the world.
+    pub backlog: usize,
+    /// Free cores after the round.
+    pub free_cores: u32,
+    /// Cumulative jobs admitted (submitted into the cell's world).
+    pub admitted: u64,
+}
+
+/// The narrow shared seam between cells: one report slot per cell.
+///
+/// Cells only ever write their own slot (keyed by cell id), so the
+/// contents after a round are independent of which thread finished first;
+/// the coordinator reads the whole table serially between rounds.
+#[derive(Debug)]
+pub struct Seam {
+    slots: Vec<CellReport>,
+}
+
+impl Seam {
+    /// A shared seam with `cells` empty slots.
+    pub fn shared(cells: usize) -> Arc<Mutex<Seam>> {
+        Arc::new(Mutex::new(Seam {
+            slots: vec![CellReport::default(); cells],
+        }))
+    }
+
+    /// The per-cell report slots, indexed by cell id.
+    pub fn slots(&self) -> &[CellReport] {
+        &self.slots
+    }
+}
+
+/// One shard: a disjoint slice of the cluster with its own world, its own
+/// manager, and a batched admission inbox.
+///
+/// Arrivals land in the inbox via [`Cell::enqueue`] (routed by the
+/// coordinator); [`Cell::run_round`] drains at most `batch_cap` of them
+/// into the world, then ticks physics to the round horizon. Jobs still in
+/// the inbox have not been seen by this cell's world or manager, which is
+/// what makes them eligible for cross-cell [`rebalance`].
+pub struct Cell {
+    id: usize,
+    world: World,
+    manager: Box<dyn Manager + Send>,
+    inbox: VecDeque<Workload>,
+    batch_cap: usize,
+    admitted: u64,
+    round: u64,
+    /// World-side pending count as of the last round, so backlog
+    /// estimates between rounds don't need to touch the world.
+    last_pending: usize,
+    seam: Arc<Mutex<Seam>>,
+}
+
+impl Cell {
+    /// Builds cell `id` over `spec` (one part of a
+    /// [`ClusterSpec::partition`]). The world's noise seed is derived
+    /// from `config.seed` and the cell id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_cap` is zero (a cell that can never admit) or the
+    /// tick is not positive.
+    pub fn new(
+        id: usize,
+        spec: ClusterSpec,
+        manager: Box<dyn Manager + Send>,
+        config: SimConfig,
+        batch_cap: usize,
+        seam: Arc<Mutex<Seam>>,
+    ) -> Cell {
+        assert!(batch_cap > 0, "batch cap must be positive");
+        assert!(config.tick_s > 0.0, "tick must be positive");
+        let world = World::new(
+            ClusterState::new(spec),
+            config.tick_s,
+            config.noise,
+            config.metrics_interval_s,
+            mix_seed(config.seed, id as u64),
+        );
+        Cell {
+            id,
+            world,
+            manager,
+            inbox: VecDeque::new(),
+            batch_cap,
+            admitted: 0,
+            round: 0,
+            last_pending: 0,
+            seam,
+        }
+    }
+
+    /// This cell's id (its slot index in the seam).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The cell's world, for inspection and result extraction.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Jobs queued in the inbox, not yet admitted.
+    pub fn inbox_depth(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Cumulative jobs admitted into the world.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Inbox depth plus the world-side pending count from the last round
+    /// — the load signal used by [`route`] and [`rebalance`]. Cheap and
+    /// lock-free so the coordinator can call it per arrival.
+    pub fn backlog_estimate(&self) -> usize {
+        self.inbox.len() + self.last_pending
+    }
+
+    /// Queues an arrival for a later admission round.
+    pub fn enqueue(&mut self, workload: Workload) {
+        self.inbox.push_back(workload);
+    }
+
+    /// Runs one admission round: drain at most `batch_cap` inbox jobs
+    /// into the world (arrival callbacks fire immediately; placement is
+    /// the manager's business, typically on its batched tick), then tick
+    /// physics to `t_end_s` by integer tick index, delivering completion
+    /// and tick callbacks. Publishes this cell's [`CellReport`] into the
+    /// seam and returns a copy.
+    pub fn run_round(&mut self, t_end_s: f64) -> CellReport {
+        let batch = self.inbox.len().min(self.batch_cap);
+        for _ in 0..batch {
+            let workload = self.inbox.pop_front().expect("len checked");
+            let id = workload.id();
+            self.world.submit(workload);
+            self.manager.on_arrival(&mut self.world, id);
+        }
+        self.admitted += batch as u64;
+        shard_metrics().admitted.add(batch as u64);
+
+        let tick = self.world.tick_s();
+        let start = self.world.now();
+        let mut k: u64 = 0;
+        while self.world.now() + 1e-9 < t_end_s {
+            k += 1;
+            let next = (start + k as f64 * tick).min(t_end_s);
+            let completed = self.world.advance_to(next);
+            for id in completed {
+                self.manager.on_completion(&mut self.world, id);
+            }
+            self.manager.on_tick(&mut self.world);
+        }
+
+        self.round += 1;
+        self.last_pending = self.world.ids_in_state(JobState::Pending).len();
+        let total = self.world.total_cores();
+        let used = self.world.used_cores();
+        if total > 0 {
+            shard_metrics()
+                .occupancy_pct
+                .record(f64::from(used) / f64::from(total) * 100.0);
+        }
+        let report = CellReport {
+            round: self.round,
+            backlog: self.backlog_estimate(),
+            free_cores: total - used,
+            admitted: self.admitted,
+        };
+        shard_metrics()
+            .queue_depth_max
+            .set_max(report.backlog as u64);
+        self.seam.lock().expect("seam poisoned").slots[self.id] = report.clone();
+        report
+    }
+
+    /// `(workload id, placed)` for every job this cell has admitted,
+    /// where `placed` means the job got (or finished with) an allocation.
+    pub fn placements(&self) -> Vec<(WorkloadId, bool)> {
+        let mut out: Vec<(WorkloadId, bool)> = self
+            .world
+            .workload_ids()
+            .into_iter()
+            .map(|id| (id, self.world.state(id) != JobState::Pending))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell")
+            .field("id", &self.id)
+            .field("inbox", &self.inbox.len())
+            .field("admitted", &self.admitted)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Routes each arrival to the least-loaded cell by
+/// [`Cell::backlog_estimate`], lowest cell id winning ties. Runs on the
+/// coordinator thread between rounds: the jobs arrive in submission
+/// order, so the assignment is a pure function of the arrival stream and
+/// prior round reports — independent of worker-thread scheduling.
+pub fn route(cells: &mut [Cell], jobs: impl IntoIterator<Item = Workload>) -> usize {
+    let mut routed = 0;
+    for job in jobs {
+        let target = cells
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.backlog_estimate())
+            .map(|(i, _)| i)
+            .expect("at least one cell");
+        cells[target].enqueue(job);
+        routed += 1;
+    }
+    routed
+}
+
+/// Cross-shard rebalance: migrates *queued, not-yet-admitted* jobs from
+/// the deepest backlog to the shallowest until the spread is within
+/// `threshold`. Only inbox jobs move — once a job has been submitted into
+/// a cell's world, that world owns its entry and its history, so admitted
+/// jobs never migrate. Runs serially between rounds, outside the
+/// admission fast path (see DESIGN.md §5). Returns the number of jobs
+/// moved.
+pub fn rebalance(cells: &mut [Cell], threshold: usize) -> u64 {
+    let mut moved = 0u64;
+    loop {
+        let (mut hi, mut lo) = (0usize, 0usize);
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.backlog_estimate() > cells[hi].backlog_estimate() {
+                hi = i;
+            }
+            if cell.backlog_estimate() < cells[lo].backlog_estimate() {
+                lo = i;
+            }
+        }
+        let (deep, shallow) = (cells[hi].backlog_estimate(), cells[lo].backlog_estimate());
+        if hi == lo || deep - shallow <= threshold {
+            break;
+        }
+        // Halve the spread, bounded by what is still migratable.
+        let want = (deep - shallow) / 2;
+        let can = cells[hi].inbox.len().min(want);
+        if can == 0 {
+            break;
+        }
+        for _ in 0..can {
+            let job = cells[hi].inbox.pop_back().expect("len checked");
+            cells[lo].inbox.push_back(job);
+        }
+        moved += can as u64;
+    }
+    shard_metrics().rebalanced.add(moved);
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::managers::NullManager;
+    use quasar_workloads::generate::Generator;
+    use quasar_workloads::{PlatformCatalog, Priority};
+
+    fn jobs(n: usize, seed: u64) -> Vec<Workload> {
+        let mut generator = Generator::new(PlatformCatalog::local(), seed);
+        (0..n)
+            .map(|i| generator.single_node_job(format!("j{i}"), 120.0, Priority::Guaranteed))
+            .collect()
+    }
+
+    fn cells(n: usize, batch_cap: usize) -> Vec<Cell> {
+        let spec = ClusterSpec::uniform(PlatformCatalog::local(), 2);
+        let seam = Seam::shared(n);
+        spec.partition(n)
+            .into_iter()
+            .enumerate()
+            .map(|(id, part)| {
+                Cell::new(
+                    id,
+                    part,
+                    Box::new(NullManager),
+                    SimConfig {
+                        noise: 0.0,
+                        ..SimConfig::default()
+                    },
+                    batch_cap,
+                    seam.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn route_is_least_loaded_with_low_id_tie_break() {
+        let mut cells = cells(3, 16);
+        assert_eq!(route(&mut cells, jobs(7, 1)), 7);
+        // 7 jobs over 3 empty cells: round-robin-like fill 3/2/2 with the
+        // first cell winning every tie.
+        let depths: Vec<usize> = cells.iter().map(Cell::inbox_depth).collect();
+        assert_eq!(depths, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn run_round_admits_at_most_batch_cap_and_lands_on_horizon() {
+        let mut cells = cells(1, 4);
+        route(&mut cells, jobs(10, 2));
+        let report = cells[0].run_round(30.0);
+        assert_eq!(cells[0].admitted(), 4, "cap limits the batch");
+        assert_eq!(cells[0].inbox_depth(), 6);
+        // NullManager places nothing: the whole batch is world-pending.
+        assert_eq!(report.backlog, 10);
+        assert_eq!(report.round, 1);
+        assert_eq!(cells[0].world().now(), 30.0);
+        // The report landed in this cell's seam slot.
+        let seam = cells[0].seam.clone();
+        assert_eq!(seam.lock().unwrap().slots()[0], report);
+    }
+
+    #[test]
+    fn rebalance_moves_inbox_jobs_from_deep_to_shallow() {
+        let mut cells = cells(2, 16);
+        for job in jobs(10, 3) {
+            cells[0].enqueue(job);
+        }
+        let moved = rebalance(&mut cells, 2);
+        assert_eq!(moved, 5, "halve the 10-0 spread");
+        assert_eq!(cells[0].inbox_depth(), 5);
+        assert_eq!(cells[1].inbox_depth(), 5);
+        // Within threshold now: a second call is a no-op.
+        assert_eq!(rebalance(&mut cells, 2), 0);
+    }
+
+    #[test]
+    fn rebalance_never_migrates_admitted_jobs() {
+        let mut cells = cells(2, 16);
+        for job in jobs(6, 4) {
+            cells[0].enqueue(job);
+        }
+        // Admit everything in cell 0: backlog is world-pending only.
+        cells[0].run_round(5.0);
+        assert_eq!(cells[0].inbox_depth(), 0);
+        assert_eq!(
+            rebalance(&mut cells, 0),
+            0,
+            "admitted jobs are owned by their world and must not move"
+        );
+    }
+
+    #[test]
+    fn sibling_cells_draw_distinct_noise_seeds() {
+        assert_ne!(mix_seed(0xC10D, 0), mix_seed(0xC10D, 1));
+        assert_ne!(mix_seed(0xC10D, 1), mix_seed(0xC10D, 2));
+    }
+}

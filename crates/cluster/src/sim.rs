@@ -96,6 +96,18 @@ impl Ord for Event {
 /// let mut sim = Simulation::new(spec, Box::new(NullManager), SimConfig::default());
 /// sim.run_until(30.0);
 /// assert_eq!(sim.world().now(), 30.0);
+///
+/// // The invariant is bitwise even for ticks with no finite binary
+/// // representation: the driver steps by integer tick index instead of
+/// // accumulating `+= tick_s`.
+/// let spec = ClusterSpec::uniform(PlatformCatalog::local(), 1);
+/// let mut sim = Simulation::new(
+///     spec,
+///     Box::new(NullManager),
+///     SimConfig { tick_s: 0.1, ..SimConfig::default() },
+/// );
+/// sim.run_until(33.0);
+/// assert_eq!(sim.world().now(), 33.0);
 /// ```
 pub struct Simulation {
     world: World,
@@ -173,8 +185,16 @@ impl Simulation {
     /// Each iteration: deliver due events (arrivals → `on_arrival`, phase
     /// changes → world mutation), advance physics one tick, notify
     /// completions, then give the manager its periodic `on_tick`.
+    ///
+    /// Tick instants are computed as `start + k * tick_s` by integer tick
+    /// index `k` — not by repeated `+= tick_s` accumulation, which for
+    /// non-dyadic ticks (0.1, 0.3, ...) drifts and over/undershoots the
+    /// horizon. The final step clamps to `t_end_s`, so after the call
+    /// `world().now() == t_end_s` holds bitwise whenever the clock moved.
     pub fn run_until(&mut self, t_end_s: f64) {
         let tick = self.world.tick_s();
+        let start = self.world.now();
+        let mut k: u64 = 0;
         while self.world.now() + 1e-9 < t_end_s {
             let now = self.world.now();
             // Deliver events due by the end of this tick.
@@ -198,8 +218,9 @@ impl Simulation {
                 }
             }
 
-            let dt = tick.min(t_end_s - now);
-            let completed = self.world.advance(dt);
+            k += 1;
+            let next = (start + k as f64 * tick).min(t_end_s);
+            let completed = self.world.advance_to(next);
             for id in completed {
                 self.manager.on_completion(&mut self.world, id);
             }
@@ -267,7 +288,32 @@ mod tests {
     fn run_until_advances_clock_exactly() {
         let mut s = sim(Box::new(NullManager));
         s.run_until(33.0);
-        assert!((s.world().now() - 33.0).abs() < 1e-6);
+        assert_eq!(s.world().now(), 33.0);
+    }
+
+    #[test]
+    fn non_dyadic_tick_lands_on_horizon_bitwise() {
+        // Regression: repeated `now += 0.1` accumulates rounding error
+        // (330 * 0.1 != 33.0 in binary), so the old driver either
+        // overshot the horizon or stopped an epsilon short. Integer tick
+        // indexing must land exactly, including across successive calls
+        // that resume from a non-representable instant.
+        let spec = ClusterSpec::uniform(PlatformCatalog::local(), 1);
+        let mut s = Simulation::new(
+            spec,
+            Box::new(NullManager),
+            SimConfig {
+                tick_s: 0.1,
+                noise: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        s.run_until(33.0);
+        assert_eq!(s.world().now(), 33.0);
+        s.run_until(47.5);
+        assert_eq!(s.world().now(), 47.5);
+        s.run_until(47.65);
+        assert_eq!(s.world().now(), 47.65);
     }
 
     #[test]

@@ -857,8 +857,22 @@ impl World {
 
     /// Advances physics by one tick: batch progress, service windows, QoS
     /// accounting. Returns the ids of batch jobs that completed.
+    ///
+    /// Production drivers step via [`advance_to`](World::advance_to) with
+    /// an integer tick index so repeated steps cannot accumulate float
+    /// drift; this relative form remains for tests that step ad hoc.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn advance(&mut self, dt: f64) -> Vec<WorkloadId> {
-        self.now += dt;
+        self.advance_to(self.now + dt)
+    }
+
+    /// [`advance`](World::advance) to an absolute instant. The clock is
+    /// *assigned* `target_s` rather than accumulated, so drivers that step
+    /// by integer tick index land on their horizon bitwise-exactly even
+    /// for ticks with no finite binary representation (0.1, 0.2, ...).
+    pub(crate) fn advance_to(&mut self, target_s: f64) -> Vec<WorkloadId> {
+        let dt = target_s - self.now;
+        self.now = target_s;
         // Publish the logical clock so spans/instants recorded anywhere
         // below (journal, manager callbacks) carry this tick's time.
         quasar_obs::set_sim_time(self.now);

@@ -52,6 +52,7 @@ pub mod ordering;
 pub mod par;
 pub mod predict;
 pub mod profile;
+pub mod sharded;
 pub mod straggler;
 
 pub use axes::{Axes, GoalKind};
@@ -62,3 +63,4 @@ pub use greedy::GreedyScheduler;
 pub use history::HistorySet;
 pub use manager::{ManagerSnapshot, ManagerStats, QuasarManager};
 pub use profile::{Profiler, ProfilingData};
+pub use sharded::{run_sharded, BatchAdmission, BatchStats, ShardedConfig, ShardedOutcome};

@@ -1,8 +1,7 @@
 //! The Quasar cluster manager (paper §3.4, §4).
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
@@ -113,7 +112,7 @@ pub struct QuasarManager {
     last_adapt_s: f64,
     last_proactive_s: f64,
     rng: StdRng,
-    stats: Rc<RefCell<ManagerStats>>,
+    stats: Arc<Mutex<ManagerStats>>,
 }
 
 impl QuasarManager {
@@ -137,7 +136,7 @@ impl QuasarManager {
             last_adapt_s: 0.0,
             last_proactive_s: 0.0,
             rng: StdRng::seed_from_u64(config.seed ^ 0xCAFE),
-            stats: Rc::new(RefCell::new(ManagerStats::default())),
+            stats: Arc::new(Mutex::new(ManagerStats::default())),
             history,
             config,
         }
@@ -145,13 +144,19 @@ impl QuasarManager {
 
     /// What the manager did during the run.
     pub fn stats(&self) -> ManagerStats {
-        *self.stats.borrow()
+        *self.stats.lock().expect("stats poisoned")
     }
 
     /// A shared handle to the live statistics, usable after the manager
-    /// is boxed into a simulation (experiments poll this mid-run).
-    pub fn stats_handle(&self) -> Rc<RefCell<ManagerStats>> {
-        Rc::clone(&self.stats)
+    /// is boxed into a simulation (experiments poll this mid-run). The
+    /// handle is `Send`, so it also works when the manager runs inside a
+    /// sharded cell on a worker thread.
+    pub fn stats_handle(&self) -> Arc<Mutex<ManagerStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    fn stats_mut(&self) -> MutexGuard<'_, ManagerStats> {
+        self.stats.lock().expect("stats poisoned")
     }
 
     /// The offline history in use.
@@ -219,7 +224,7 @@ impl QuasarManager {
         }
         manager.pending = snapshot.pending.iter().copied().collect();
         manager.pending_best_effort = snapshot.pending_best_effort.iter().copied().collect();
-        *manager.stats.borrow_mut() = snapshot.stats;
+        *manager.stats_mut() = snapshot.stats;
         manager
     }
 
@@ -376,7 +381,7 @@ impl QuasarManager {
             }
         }
         if !plan.meets {
-            self.stats.borrow_mut().degraded_placements += 1;
+            self.stats_mut().degraded_placements += 1;
         }
         self.commit(world, id, &plan, wall)
     }
@@ -444,7 +449,7 @@ impl QuasarManager {
             .collect();
         for v in victims {
             world.evict(v, true);
-            self.stats.borrow_mut().evictions += 1;
+            self.stats_mut().evictions += 1;
             if !self.pending_best_effort.contains(&v) {
                 self.pending_best_effort.push_back(v);
             }
@@ -490,13 +495,22 @@ impl QuasarManager {
         }
     }
 
+    /// How long workload `id` has been waiting for admission. A workload
+    /// with no recorded state has waited zero seconds: falling back to
+    /// `pending_since = 0.0` would make a just-arrived workload look like
+    /// it has waited since the start of the run and trigger spurious
+    /// degraded (forced below-target) admission.
+    fn pending_wait_s(&self, now: f64, id: WorkloadId) -> f64 {
+        now - self.states.get(&id).map(|s| s.pending_since).unwrap_or(now)
+    }
+
     fn try_place_all_pending(&mut self, world: &mut World) {
         let mut still_pending = VecDeque::new();
         while let Some(id) = self.pending.pop_front() {
             if world.state(id) != quasar_cluster::JobState::Pending {
                 continue;
             }
-            let waited = world.now() - self.states.get(&id).map(|s| s.pending_since).unwrap_or(0.0);
+            let waited = self.pending_wait_s(world.now(), id);
             // Admission control (§3.3): waiting beats oversubscription.
             // Only force a below-target placement when the cluster still
             // has headroom; on a saturated cluster the job keeps waiting
@@ -573,12 +587,12 @@ impl QuasarManager {
             if state.misses >= self.config.miss_threshold {
                 state.misses = 0;
                 self.adapt_up(world, id);
-                self.stats.borrow_mut().adaptations += 1;
+                self.stats_mut().adaptations += 1;
             } else if state.headroom_ticks >= 3 {
                 let state = self.states.get_mut(&id).expect("checked above");
                 state.headroom_ticks = 0;
                 self.adapt_down(world, id);
-                self.stats.borrow_mut().adaptations += 1;
+                self.stats_mut().adaptations += 1;
             }
         }
     }
@@ -967,7 +981,7 @@ impl QuasarManager {
                     .rng
                     .random_range(0..self.history.axes().resources.len())];
                 let intensity = (tolerated.get(r) + 15.0).min(100.0);
-                self.stats.borrow_mut().proactive_probes += 1;
+                self.stats_mut().proactive_probes += 1;
                 let Some(placement) = world.placement(id) else {
                     continue;
                 };
@@ -986,10 +1000,10 @@ impl QuasarManager {
                 }
             }
             if deviated {
-                self.stats.borrow_mut().phase_changes_detected += 1;
+                self.stats_mut().phase_changes_detected += 1;
                 self.reclassify_interference(world, id);
                 self.adapt_up(world, id);
-                self.stats.borrow_mut().adaptations += 1;
+                self.stats_mut().adaptations += 1;
             }
         }
     }
@@ -1022,7 +1036,7 @@ impl QuasarManager {
                 }
             }
         }
-        self.stats.borrow_mut().classifications += 1;
+        self.stats_mut().classifications += 1;
     }
 }
 
@@ -1066,7 +1080,7 @@ impl Manager for QuasarManager {
         let axes = self.history.axes().clone();
         let data = self.profiler.profile(world, &axes, id);
         let class = self.classifier.classify(&self.history, &data);
-        self.stats.borrow_mut().classifications += 1;
+        self.stats_mut().classifications += 1;
         self.states.insert(
             id,
             WorkloadState {
@@ -1130,6 +1144,106 @@ mod tests {
         (sim, generator)
     }
 
+    /// A synthetic but well-formed classification over `axes`.
+    fn test_class(axes: &crate::axes::Axes) -> Classification {
+        Classification {
+            kind: GoalKind::Time,
+            scale_up_speed: axes.scale_up.iter().map(|r| r.cores as f64).collect(),
+            scale_out_speed: Some(axes.scale_out.iter().map(|&n| n as f64).collect()),
+            hetero_speed: vec![1.0; axes.platforms.len()],
+            params_speed: None,
+            tolerated: PressureVector::uniform(60.0),
+            caused: PressureVector::uniform(15.0),
+            runtime_calibration: 1.0,
+        }
+    }
+
+    fn state_with(class: Classification, pending_since: f64, active_after: f64) -> WorkloadState {
+        WorkloadState {
+            class,
+            params_col: Some(1),
+            profiling_wall_s: 4.5,
+            misses: 2,
+            headroom_ticks: 1,
+            pending_since,
+            active_after,
+            predictor: LoadPredictor::new(8),
+        }
+    }
+
+    #[test]
+    fn missing_state_means_zero_wait_not_epoch_wait() {
+        let catalog = PlatformCatalog::local();
+        let mut manager = QuasarManager::bootstrap(&catalog, QuasarConfig::fast_test());
+        let axes = manager.history().axes().clone();
+        // Regression: the old fallback used `pending_since = 0.0` for a
+        // workload with no recorded state, so at now=1000s it "waited"
+        // 1000s — far past the 180s threshold that forces degraded
+        // admission. Statelessness must read as zero wait instead.
+        assert_eq!(manager.pending_wait_s(1_000.0, WorkloadId(7)), 0.0);
+        // A recorded state still yields the true wait.
+        manager
+            .states
+            .insert(WorkloadId(7), state_with(test_class(&axes), 400.0, 95.0));
+        assert_eq!(manager.pending_wait_s(1_000.0, WorkloadId(7)), 600.0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_admission_order_and_wait_accounting() {
+        let catalog = PlatformCatalog::local();
+        let mut manager = QuasarManager::bootstrap(&catalog, QuasarConfig::fast_test());
+        let axes = manager.history().axes().clone();
+        for (i, (since, active)) in [(10.0, 95.0), (20.0, f64::INFINITY), (30.0, 120.0)]
+            .into_iter()
+            .enumerate()
+        {
+            manager.states.insert(
+                WorkloadId(i as u64),
+                state_with(test_class(&axes), since, active),
+            );
+        }
+        // Queue contents are admission order, deliberately not id order:
+        // a hot standby must admit in the same sequence as the primary.
+        manager.pending.extend([WorkloadId(2), WorkloadId(0)]);
+        manager.pending_best_effort.push_back(WorkloadId(1));
+        manager.stats_mut().adaptations = 7;
+
+        let snap = manager.snapshot();
+        let standby =
+            QuasarManager::restore(manager.history().clone(), QuasarConfig::fast_test(), &snap);
+        assert_eq!(
+            Vec::from(standby.pending.clone()),
+            vec![WorkloadId(2), WorkloadId(0)],
+            "pending order must survive the round-trip"
+        );
+        assert_eq!(
+            Vec::from(standby.pending_best_effort.clone()),
+            vec![WorkloadId(1)]
+        );
+        for i in 0..3u64 {
+            let original = &manager.states[&WorkloadId(i)];
+            let restored = &standby.states[&WorkloadId(i)];
+            assert_eq!(restored.pending_since, original.pending_since);
+            assert_eq!(restored.active_after, original.active_after);
+            assert_eq!(restored.params_col, original.params_col);
+            assert_eq!(restored.profiling_wall_s, original.profiling_wall_s);
+        }
+        assert_eq!(standby.stats().adaptations, 7);
+        // Same wait accounting on the standby as on the primary.
+        assert_eq!(
+            standby.pending_wait_s(100.0, WorkloadId(2)),
+            manager.pending_wait_s(100.0, WorkloadId(2))
+        );
+    }
+
+    #[test]
+    fn manager_is_send_for_sharded_cells() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QuasarManager>();
+        assert_send::<ManagerSnapshot>();
+        assert_send::<ManagerStats>();
+    }
+
     #[test]
     fn places_a_batch_job_and_meets_target() {
         let (mut sim, mut generator) = make_sim(2);
@@ -1150,7 +1264,9 @@ mod tests {
         sim.run_until(target * 3.0);
         assert_eq!(sim.world().state(id), JobState::Completed);
         let record = &sim.world().completions()[0];
-        let exec = record.execution_s().unwrap();
+        // Guarded: an unfinished record reads as "missed by a mile"
+        // rather than aborting the whole process on `unwrap`.
+        let exec = record.execution_s().unwrap_or(f64::INFINITY);
         assert!(
             exec <= target * 1.4,
             "execution {exec:.0}s vs target {target:.0}s"

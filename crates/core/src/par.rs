@@ -153,6 +153,63 @@ where
         .collect()
 }
 
+/// [`par_map`] over items the caller keeps: `f` receives `(index,
+/// &mut item)` and the items stay in place, so long-lived stateful
+/// workers (e.g. sharded manager cells that persist across admission
+/// rounds) can be driven in parallel without moving them through a
+/// `Vec` every round. Returns `f`'s outputs in item order.
+///
+/// The determinism contract is the same as [`par_map`]: results land by
+/// item index, `threads <= 1` (or a single item) degenerates to a plain
+/// serial loop, and sim time is reset per item and on return.
+pub fn par_map_mut<T, U, F>(threads: usize, items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    let metrics = par_metrics();
+    metrics.jobs.inc();
+    metrics.items.add(n as u64);
+    metrics.job_items.record(n as f64);
+    let _job_span = quasar_obs::span!("core.par.job", "items={n}");
+    if threads <= 1 || n <= 1 {
+        let out = items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                quasar_obs::set_sim_time(0.0);
+                f(i, x)
+            })
+            .collect();
+        quasar_obs::set_sim_time(0.0);
+        return out;
+    }
+    let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let task = |i: usize| {
+        let item = slots[i]
+            .lock()
+            .expect("item slot poisoned")
+            .take()
+            .expect("each index is claimed exactly once");
+        quasar_obs::set_sim_time(0.0);
+        let out = f(i, item);
+        *results[i].lock().expect("result slot poisoned") = Some(out);
+    };
+    pool::run(threads, n, &task);
+    quasar_obs::set_sim_time(0.0);
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
 /// [`par_map`] for items that need a private RNG stream: `f` receives
 /// `(index, seed, item)` where `seed = `[`derive_seed`]`(base_seed, index)`.
 pub fn par_map_seeded<T, U, F>(threads: usize, base_seed: u64, items: Vec<T>, f: F) -> Vec<U>
@@ -456,6 +513,24 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(4, empty, |_, x: u32| x).is_empty());
         assert_eq!(par_map(4, vec![9], |i, x: u32| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn par_map_mut_updates_in_place_and_matches_serial() {
+        let f = |i: usize, x: &mut u64| {
+            *x = x.wrapping_mul(3).wrapping_add(i as u64);
+            *x
+        };
+        let mut serial: Vec<u64> = (0..97).collect();
+        let serial_out = par_map_mut(1, &mut serial, f);
+        for threads in [2, 4, 8] {
+            let mut items: Vec<u64> = (0..97).collect();
+            let out = par_map_mut(threads, &mut items, f);
+            assert_eq!(out, serial_out, "threads={threads}");
+            assert_eq!(items, serial, "threads={threads}");
+        }
+        // Outputs are by item index and reflect the in-place update.
+        assert_eq!(serial_out[5], serial[5]);
     }
 
     #[test]

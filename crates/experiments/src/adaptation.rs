@@ -114,7 +114,7 @@ pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
     while t < horizon {
         t += 60.0;
         sim.run_until(t);
-        let s = stats.borrow();
+        let s = stats.lock().expect("stats poisoned");
         reactions.push((
             t,
             s.adaptations + s.phase_changes_detected,
@@ -175,17 +175,10 @@ pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
     let mitigation_means = mitigation_comparison(waves, threads);
 
     // --- Overheads: profiling share of execution from the phase run. ---
-    let mut overheads = Vec::new();
-    for record in sim.world().completions() {
-        if let Some(exec) = record.execution_s() {
-            if !record.best_effort && exec > 0.0 {
-                overheads.push(record.profiling_s / exec);
-            }
-        }
-    }
-    // Include still-running jobs (long-running services in the paper have
-    // negligible relative overhead).
+    let (overheads, _unfinished) = overhead_fractions(&sim.world().completions());
     let overhead_fraction = if overheads.is_empty() {
+        // No job ran to completion (long-running services in the paper
+        // have negligible relative overhead) — report the paper floor.
         0.02
     } else {
         mean(&overheads)
@@ -200,6 +193,30 @@ pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
         overhead_fraction,
         mitigation_means,
     }
+}
+
+/// Per-job profiling-overhead fractions plus the number of records that
+/// were skipped because they cannot contribute a finite ratio.
+///
+/// A record with no completion time (`execution_s()` is `None` while the
+/// job is still running or was never placed) or a zero-length execution
+/// is *skipped and counted*, never unwrapped: the overhead sweep runs on
+/// whatever the world holds mid-run, so an unfinished record must degrade
+/// the estimate, not abort the experiment. Best-effort records are
+/// excluded silently — the paper's overhead claim covers managed jobs.
+fn overhead_fractions(records: &[quasar_cluster::CompletionRecord]) -> (Vec<f64>, usize) {
+    let mut fractions = Vec::new();
+    let mut skipped = 0usize;
+    for record in records {
+        if record.best_effort {
+            continue;
+        }
+        match record.execution_s() {
+            Some(exec) if exec > 0.0 => fractions.push(record.profiling_s / exec),
+            _ => skipped += 1,
+        }
+    }
+    (fractions, skipped)
 }
 
 /// Mitigation policy applied each scan to a live [`TaskExecution`].
@@ -366,6 +383,45 @@ impl fmt::Display for AdaptationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quasar_cluster::CompletionRecord;
+    use quasar_workloads::{QosTarget, WorkloadId};
+
+    fn record(id: u64, finished_s: Option<f64>) -> CompletionRecord {
+        CompletionRecord {
+            id: WorkloadId(id),
+            name: format!("job{id}"),
+            class: WorkloadClass::Hadoop,
+            target: QosTarget::CompletionTime { seconds: 600.0 },
+            submitted_s: 100.0,
+            placed_s: Some(110.0),
+            finished_s,
+            profiling_s: 8.0,
+            best_effort: false,
+            peak_cores: 4,
+            reserved: None,
+            total_work: 1.0e9,
+        }
+    }
+
+    #[test]
+    fn unfinished_records_are_skipped_and_counted_not_unwrapped() {
+        let finished = record(0, Some(500.0));
+        // Still running when the sweep looks: no completion time at all.
+        let unfinished = record(1, None);
+        // Degenerate completion-at-submission record: finite but useless.
+        let zero_length = record(2, Some(100.0));
+        let mut best_effort = record(3, Some(900.0));
+        best_effort.best_effort = true;
+
+        let (fractions, skipped) =
+            overhead_fractions(&[finished, unfinished, zero_length, best_effort]);
+        // Only the finished managed job contributes: 8s profiling over a
+        // 400s execution.
+        assert_eq!(fractions, vec![8.0 / 400.0]);
+        // The unfinished and zero-length records are counted, not fatal;
+        // best-effort is excluded by design and not counted as skipped.
+        assert_eq!(skipped, 2);
+    }
 
     #[test]
     fn adaptation_machinery_works() {

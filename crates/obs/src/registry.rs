@@ -30,7 +30,17 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// lookups on one key collapse to a single compute: exactly one miss,
 /// the rest hits — the same totals as a serial run, absent evictions),
 /// so they stay in deterministic snapshots and CI diffs them.
-pub const LIVE_PREFIXES: [&str; 2] = ["quasar.core.par.pool.", "quasar.cf.row_cache.evictions"];
+///
+/// The sharded manager's wall-clock round timings
+/// (`quasar.cluster.shard.wall.*`) are live by definition; its *logical*
+/// shard metrics (`quasar.cluster.shard.admitted`, `.rebalanced`,
+/// `.queue_depth_max`, ...) are driven by deterministic routing and stay
+/// in the deterministic view.
+pub const LIVE_PREFIXES: [&str; 3] = [
+    "quasar.core.par.pool.",
+    "quasar.cf.row_cache.evictions",
+    "quasar.cluster.shard.wall.",
+];
 
 /// Default histogram bucket upper bounds for latencies in microseconds:
 /// a 1-2-5 ladder from 1 µs to 5 s, with an implicit overflow bucket.
@@ -484,9 +494,23 @@ mod tests {
         r.gauge("quasar.core.par.pool.live").set(7);
         let h = r.histogram_us("quasar.core.classify.decision_us");
         h.record(123.4);
+        r.counter("quasar.cluster.shard.admitted").add(11);
+        r.gauge("quasar.cluster.shard.queue_depth_max").set(4);
+        r.histogram_us("quasar.cluster.shard.wall.round_us")
+            .record(987.6);
         let det = r.snapshot().deterministic();
         assert!(det.get("quasar.core.par.pool.live").is_none());
         assert!(det.get("quasar.cf.row_cache.evictions").is_none());
+        // Shard wall timings are live; logical shard metrics are kept.
+        assert!(det.get("quasar.cluster.shard.wall.round_us").is_none());
+        assert_eq!(
+            det.get("quasar.cluster.shard.admitted"),
+            Some(&MetricValue::Counter(11))
+        );
+        assert_eq!(
+            det.get("quasar.cluster.shard.queue_depth_max"),
+            Some(&MetricValue::Gauge(4))
+        );
         // Hits/misses are deterministic (per-key once-guard) and kept.
         assert_eq!(
             det.get("quasar.cf.row_cache.hits"),

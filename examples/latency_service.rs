@@ -76,7 +76,7 @@ fn main() {
         record.windows_met,
         record.windows_total
     );
-    let s = stats.borrow();
+    let s = stats.lock().unwrap();
     println!(
         "manager activity: {} classifications, {} adaptations, {} best-effort evictions",
         s.classifications, s.adaptations, s.evictions

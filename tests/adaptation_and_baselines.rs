@@ -39,9 +39,9 @@ fn phase_change_triggers_reaction() {
     // Halve the job's intrinsic rate mid-flight.
     sim.schedule_phase_change(id, 900.0, PhaseChange::RateFactor(0.5));
     sim.run_until(880.0);
-    let before = stats.borrow().adaptations;
+    let before = stats.lock().unwrap().adaptations;
     sim.run_until(2_400.0);
-    let after = stats.borrow().adaptations;
+    let after = stats.lock().unwrap().adaptations;
     assert!(
         after > before,
         "the manager must adapt after the phase change ({before} -> {after})"

@@ -133,7 +133,7 @@ fn service_survives_a_load_spike_with_adaptation() {
         record.served_fraction()
     );
     assert!(
-        stats.borrow().adaptations > 0,
+        stats.lock().unwrap().adaptations > 0,
         "the spike must trigger allocation adjustments"
     );
 }
@@ -173,7 +173,7 @@ fn best_effort_yields_to_guaranteed_work() {
         record.served_fraction()
     );
     assert!(
-        stats.borrow().evictions > 0,
+        stats.lock().unwrap().evictions > 0,
         "making room must evict best-effort fill"
     );
 }
