@@ -24,6 +24,7 @@ use std::sync::OnceLock;
 use quasar_obs::registry::{Counter, Registry};
 use quasar_workloads::{NodeResources, WorkloadId};
 
+use crate::chunk::{self, ChunkProvider, SealedChunk};
 use crate::server::ServerId;
 
 /// Registry handles for the journal counters: one total plus one per
@@ -31,6 +32,8 @@ use crate::server::ServerId;
 struct JournalMetrics {
     total: Counter,
     per_kind: [(&'static str, Counter); 8],
+    chunk_flushes: Counter,
+    chunk_events: Counter,
 }
 
 fn journal_metrics() -> &'static JournalMetrics {
@@ -50,6 +53,8 @@ fn journal_metrics() -> &'static JournalMetrics {
                 kind("isolation_set"),
                 kind("completed"),
             ],
+            chunk_flushes: reg.counter("quasar.cluster.journal.chunk_flushes"),
+            chunk_events: reg.counter("quasar.cluster.journal.chunk_events"),
         }
     })
 }
@@ -206,12 +211,34 @@ impl JournalEvent {
     }
 }
 
-/// A bounded ring of timestamped [`JournalEvent`]s.
-#[derive(Debug, Clone)]
+/// A bounded ring of timestamped [`JournalEvent`]s, optionally streamed
+/// through sealed chunks to a [`ChunkProvider`] for bounded-memory,
+/// replayable persistence.
 pub struct Journal {
     capacity: usize,
     entries: VecDeque<(f64, JournalEvent)>,
     dropped: usize,
+    /// Chunk streaming state; `None` keeps the journal a pure ring.
+    provider: Option<Box<dyn ChunkProvider>>,
+    chunk_cap: usize,
+    open_chunk: Vec<(f64, JournalEvent)>,
+    next_chunk_index: u64,
+    /// FNV-1a over every serialized event line streamed so far,
+    /// chunk-boundary independent (see [`crate::chunk::fold_line`]).
+    stream_digest: u64,
+    streamed: u64,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries.len())
+            .field("dropped", &self.dropped)
+            .field("chunked", &self.provider.is_some())
+            .field("streamed", &self.streamed)
+            .finish()
+    }
 }
 
 impl Journal {
@@ -226,14 +253,38 @@ impl Journal {
             capacity,
             entries: VecDeque::with_capacity(capacity.min(1024)),
             dropped: 0,
+            provider: None,
+            chunk_cap: 0,
+            open_chunk: Vec::new(),
+            next_chunk_index: 0,
+            stream_digest: chunk::digest_seed(),
+            streamed: 0,
         }
+    }
+
+    /// Attaches a chunk provider: every event recorded from now on also
+    /// feeds an open chunk that is sealed and stored once it holds
+    /// `chunk_cap` events. The in-memory ring keeps working unchanged
+    /// (recent-window rendering); the chunk stream is the durable,
+    /// replayable record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_cap` is zero.
+    pub fn attach_provider(&mut self, chunk_cap: usize, provider: Box<dyn ChunkProvider>) {
+        assert!(chunk_cap > 0, "chunk capacity must be positive");
+        self.next_chunk_index = provider.count();
+        self.provider = Some(provider);
+        self.chunk_cap = chunk_cap;
+        self.open_chunk = Vec::with_capacity(chunk_cap);
     }
 
     /// Appends an event at simulation time `at_s`. Besides the in-memory
     /// ring, the event feeds the registry counters
-    /// (`quasar.cluster.journal.*`) and — when tracing is enabled — a
-    /// structured instant record in the JSONL/Chrome exporters, keyed by
-    /// the event's logical time.
+    /// (`quasar.cluster.journal.*`), the chunk stream when a provider is
+    /// attached, and — when tracing is enabled — a structured instant
+    /// record in the JSONL/Chrome exporters, keyed by the event's
+    /// logical time.
     pub fn record(&mut self, at_s: f64, event: JournalEvent) {
         let metrics = journal_metrics();
         metrics.total.inc();
@@ -244,11 +295,86 @@ impl Journal {
         if quasar_obs::tracing_enabled() {
             quasar_obs::trace::record_instant(event.trace_name(), event.to_string(), at_s);
         }
+        if self.provider.is_some() {
+            self.stream_digest =
+                chunk::fold_line(self.stream_digest, &chunk::serialize_event(at_s, &event));
+            self.streamed += 1;
+            self.open_chunk.push((at_s, event.clone()));
+            if self.open_chunk.len() >= self.chunk_cap {
+                self.flush_open_chunk();
+            }
+        }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
         self.entries.push_back((at_s, event));
+    }
+
+    /// Seals and stores the open chunk even if it is not full (end of
+    /// run, or a snapshot boundary). No-op when empty or unchunked.
+    /// Chunk boundaries do not affect the stream digest, so a run that
+    /// sealed early and one that didn't still fold to the same digest.
+    pub fn seal_open_chunk(&mut self) {
+        self.flush_open_chunk();
+    }
+
+    fn flush_open_chunk(&mut self) {
+        let Some(provider) = self.provider.as_mut() else {
+            return;
+        };
+        if self.open_chunk.is_empty() {
+            return;
+        }
+        let chunk = SealedChunk {
+            index: self.next_chunk_index,
+            events: std::mem::take(&mut self.open_chunk),
+        };
+        let events = chunk.events.len() as u64;
+        if let Err(e) = provider.store(&chunk) {
+            // Persistence is best-effort from the physics loop's point
+            // of view: a full disk must not corrupt simulation state.
+            // The gap is visible (count stops advancing) and the live
+            // digest still covers the lost lines.
+            eprintln!("journal chunk {} store failed: {e}", chunk.index);
+        }
+        self.next_chunk_index += 1;
+        let metrics = journal_metrics();
+        metrics.chunk_flushes.inc();
+        metrics.chunk_events.add(events);
+    }
+
+    /// The chunk provider, for replay after a run. `None` when the
+    /// journal is a pure ring.
+    pub fn provider(&self) -> Option<&dyn ChunkProvider> {
+        self.provider.as_deref()
+    }
+
+    /// Running digest over every event line streamed to chunks (the
+    /// journal's outcome identity under persistence). Seed value when no
+    /// provider is attached.
+    pub fn stream_digest(&self) -> u64 {
+        self.stream_digest
+    }
+
+    /// Events streamed to the chunk layer over the journal's lifetime.
+    pub fn streamed(&self) -> u64 {
+        self.streamed
+    }
+
+    /// Checkpoints the streaming state for a snapshot:
+    /// `(next_chunk_index, streamed, stream_digest)`. The open chunk
+    /// should be sealed first so the stored stream covers everything.
+    pub fn checkpoint(&self) -> (u64, u64, u64) {
+        (self.next_chunk_index, self.streamed, self.stream_digest)
+    }
+
+    /// Restores the streaming state saved by
+    /// [`checkpoint`](Journal::checkpoint) after re-attaching a provider.
+    pub fn restore(&mut self, next_chunk_index: u64, streamed: u64, stream_digest: u64) {
+        self.next_chunk_index = next_chunk_index;
+        self.streamed = streamed;
+        self.stream_digest = stream_digest;
     }
 
     /// Number of retained events.
@@ -343,6 +469,27 @@ mod tests {
         assert_eq!(j.dropped(), 1);
         assert_eq!(j.iter().next().unwrap().0, 2.0);
         assert!(j.render().contains("1 earlier events dropped"));
+    }
+
+    #[test]
+    fn chunk_streaming_seals_at_capacity_and_replays_to_same_digest() {
+        let mut j = Journal::new(4);
+        j.attach_provider(2, Box::new(crate::chunk::MemoryChunks::new()));
+        for i in 0..5 {
+            j.record(i as f64, placed(i));
+        }
+        assert_eq!(j.streamed(), 5);
+        assert_eq!(j.provider().unwrap().count(), 2, "two full chunks sealed");
+        j.seal_open_chunk();
+        assert_eq!(j.provider().unwrap().count(), 3, "partial chunk sealed");
+        assert_eq!(
+            crate::chunk::replay_digest(j.provider().unwrap()).unwrap(),
+            j.stream_digest(),
+            "replaying storage folds to the live digest"
+        );
+        // The in-memory ring keeps its own independent bound.
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 1);
     }
 
     #[test]

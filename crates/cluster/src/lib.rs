@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 mod cluster;
 pub mod journal;
 pub mod managers;
@@ -43,12 +44,14 @@ mod profile;
 mod server;
 pub mod shard;
 mod sim;
+pub mod snapshot;
 pub mod tasks;
 mod world;
 
+pub use chunk::{ChunkProvider, FileChunks, MemoryChunks, SealedChunk};
 pub use cluster::{ClusterSpec, ClusterState, PlaceError};
 pub use journal::{Journal, JournalEvent};
-pub use managers::Manager;
+pub use managers::{FifoGreedy, Manager};
 pub use metrics::{HeatmapSample, MetricsRecorder, UtilizationSummary};
 pub use observe::Observation;
 pub use placement::{NodeAlloc, Placement};
@@ -56,4 +59,4 @@ pub use profile::{ProfileConfig, ProfileResult};
 pub use server::{Server, ServerId};
 pub use shard::{Cell, CellReport, Seam};
 pub use sim::{PhaseChange, SimConfig, Simulation};
-pub use world::{CompletionRecord, JobState, QosRecord, World};
+pub use world::{CompletionRecord, JobState, QosRecord, Retention, World};

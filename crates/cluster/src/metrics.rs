@@ -70,7 +70,15 @@ pub struct UtilizationSummary {
 #[derive(Debug, Clone)]
 pub struct MetricsRecorder {
     interval_s: f64,
-    next_sample_at: f64,
+    /// Index of the next *due* sample on the `i * interval_s` grid. The
+    /// schedule is computed from this integer index, never by
+    /// accumulating `time + interval`: repeated float addition drifts
+    /// off the grid over long runs (the same bug class the simulation
+    /// tick driver fixed by stepping on an integer tick index).
+    next_index: u64,
+    /// Samples recorded before this recorder was restored from a
+    /// snapshot (they live in the snapshotted run's recorder).
+    prior_count: u64,
     samples: Vec<HeatmapSample>,
 }
 
@@ -84,20 +92,52 @@ impl MetricsRecorder {
         assert!(interval_s > 0.0, "sample interval must be positive");
         MetricsRecorder {
             interval_s,
-            next_sample_at: 0.0,
+            next_index: 0,
+            prior_count: 0,
             samples: Vec::new(),
         }
     }
 
-    /// Whether a sample is due at time `now`.
-    pub(crate) fn due(&self, now: f64) -> bool {
-        now + 1e-9 >= self.next_sample_at
+    /// The next grid instant a sample is due at (`next_index *
+    /// interval_s`, one rounding, no accumulated error).
+    pub(crate) fn next_due_s(&self) -> f64 {
+        self.next_index as f64 * self.interval_s
     }
 
-    /// Stores a sample and advances the schedule.
+    /// Whether a sample is due at time `now`.
+    pub(crate) fn due(&self, now: f64) -> bool {
+        now + 1e-9 >= self.next_due_s()
+    }
+
+    /// Stores a sample and advances the schedule to the first grid point
+    /// strictly after the sample's time. A driver ticking coarser than
+    /// the interval records at the first tick past each grid point, so
+    /// the index may advance by more than one.
     pub(crate) fn record(&mut self, sample: HeatmapSample) {
-        self.next_sample_at = sample.time_s + self.interval_s;
+        let passed = ((sample.time_s + 1e-9) / self.interval_s).floor() as u64;
+        self.next_index = passed.max(self.next_index) + 1;
         self.samples.push(sample);
+    }
+
+    /// Resumes the schedule of a snapshotted recorder: `next_index` is
+    /// the grid index it would sample next, `prior_count` how many
+    /// samples it had recorded (they stay with the snapshotted run;
+    /// [`samples`](MetricsRecorder::samples) holds post-resume samples
+    /// only).
+    pub(crate) fn resume_at(&mut self, next_index: u64, prior_count: u64) {
+        self.next_index = next_index;
+        self.prior_count = prior_count;
+    }
+
+    /// The grid index of the next due sample (for snapshots).
+    pub(crate) fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Samples recorded over the whole run, including any recorded
+    /// before a snapshot/resume boundary.
+    pub fn total_count(&self) -> u64 {
+        self.prior_count + self.samples.len() as u64
     }
 
     /// All recorded samples, oldest first.
@@ -204,5 +244,34 @@ mod tests {
     fn empty_summary_is_zero() {
         let r = MetricsRecorder::new(1.0);
         assert_eq!(r.summary(), UtilizationSummary::default());
+    }
+
+    /// One million samples at a 0.1s interval stay *bitwise* on the
+    /// `i * 0.1` grid: the schedule comes from one multiplication of an
+    /// integer index, never from accumulating `t += interval`, so there
+    /// is no float drift no matter how long the run. The naive
+    /// accumulator the integer index replaced is off the grid by the
+    /// end of the same span.
+    #[test]
+    fn million_samples_stay_on_the_grid() {
+        let mut r = MetricsRecorder::new(0.1);
+        let mut accumulated = 0.0f64;
+        for i in 0..1_000_000u64 {
+            let due = r.next_due_s();
+            assert_eq!(due.to_bits(), (i as f64 * 0.1).to_bits(), "sample {i}");
+            assert!(r.due(due), "sample {i} due at its own grid point");
+            r.record(sample(due, 0.5));
+            assert_eq!(r.next_index(), i + 1, "index advances by one on-grid");
+            accumulated += 0.1;
+            if r.samples.len() >= 4096 {
+                r.samples.clear(); // keep the test's memory flat
+            }
+        }
+        assert_eq!(r.next_due_s().to_bits(), 100_000.0f64.to_bits());
+        assert_ne!(
+            accumulated.to_bits(),
+            100_000.0f64.to_bits(),
+            "the accumulating schedule this replaced drifts off the grid"
+        );
     }
 }

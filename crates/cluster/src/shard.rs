@@ -215,21 +215,13 @@ impl Cell {
         self.admitted += batch as u64;
         shard_metrics().admitted.add(batch as u64);
 
-        let tick = self.world.tick_s();
-        let start = self.world.now();
-        let mut k: u64 = 0;
-        while self.world.now() + 1e-9 < t_end_s {
-            k += 1;
-            let next = (start + k as f64 * tick).min(t_end_s);
-            let completed = self.world.advance_to(next);
-            for id in completed {
-                self.manager.on_completion(&mut self.world, id);
-            }
-            self.manager.on_tick(&mut self.world);
-        }
+        // The shared tick driver: integer-index stepping, idle
+        // fast-forward (when this cell's manager permits it), completion
+        // retention — one loop for cells and standalone simulations.
+        crate::sim::drive_ticks(&mut self.world, self.manager.as_mut(), t_end_s);
 
         self.round += 1;
-        self.last_pending = self.world.ids_in_state(JobState::Pending).len();
+        self.last_pending = self.world.count_in_state(JobState::Pending);
         let total = self.world.total_cores();
         let used = self.world.used_cores();
         if total > 0 {

@@ -1,14 +1,59 @@
 //! The simulation driver: event queue plus the tick loop.
+//!
+//! # Time semantics
+//!
+//! Physics is tick-quantized: the clock only ever rests at `start + k *
+//! tick_s` instants (computed by integer tick index, never accumulated).
+//! Events (arrivals, phase changes) may carry arbitrary timestamps; an
+//! event at time `t` is *delivered* at the first tick boundary `>= t` —
+//! immediately after physics advanced to that boundary and before the
+//! manager's completion/tick callbacks for it — so the tick callback at
+//! a boundary always sees every event due by that boundary, including
+//! events scheduled exactly at the run horizon. Delivery latency is
+//! therefore bounded by one tick, never two.
+//!
+//! # Idle fast-forward
+//!
+//! When the world is idle (nothing running, nothing pending) and the
+//! manager declares its idle ticks are no-ops
+//! ([`Manager::needs_idle_ticks`]` == false`), the driver jumps straight
+//! to the next instant anything can happen: the covering tick of the
+//! next queued event, of the next metrics sample, or the horizon.
+//! Quiescent spans then cost O(log n) per event instead of O(span /
+//! tick) — with outcomes (completion sets, digests, metrics grids)
+//! bit-identical to the dense loop, which
+//! [`Simulation::run_until_dense`] retains for differential testing.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use quasar_interference::InterferenceProfile;
+use quasar_obs::registry::{Counter, Gauge, Registry};
 use quasar_workloads::{Workload, WorkloadId};
 
 use crate::cluster::{ClusterSpec, ClusterState};
 use crate::managers::Manager;
 use crate::world::World;
+
+/// Registry handles for the driver metrics (`quasar.cluster.sim.*`).
+struct SimMetrics {
+    heap_depth: Gauge,
+    delivered: Counter,
+    ticks_skipped: Counter,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        SimMetrics {
+            heap_depth: reg.gauge("quasar.cluster.sim.heap_depth"),
+            delivered: reg.counter("quasar.cluster.sim.events_delivered"),
+            ticks_skipped: reg.counter("quasar.cluster.sim.ticks_skipped"),
+        }
+    })
+}
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +207,7 @@ impl Simulation {
             kind,
         });
         self.next_seq += 1;
+        sim_metrics().heap_depth.set_max(self.events.len() as u64);
     }
 
     /// The simulated world (for inspection and result extraction).
@@ -180,11 +226,57 @@ impl Simulation {
         self.manager.name().to_string()
     }
 
-    /// Runs the simulation until `t_end_s` (inclusive of the final tick).
+    /// Queued arrivals as `(time, seq, id)` in submission order, for
+    /// snapshots. Errors if a phase change is queued: snapshots cover
+    /// arrival streams only (workloads are regenerated on resume; phase
+    /// payloads have no serial form).
+    pub(crate) fn queued_arrivals(&self) -> Result<Vec<(f64, u64, WorkloadId)>, String> {
+        let mut out = Vec::with_capacity(self.events.len());
+        for e in self.events.iter() {
+            match &e.kind {
+                EventKind::Arrival(w) => out.push((e.time_s, e.seq, w.id())),
+                EventKind::Phase(id, _) => {
+                    return Err(format!(
+                        "queued phase change for workload {} cannot be snapshotted",
+                        id.0
+                    ));
+                }
+            }
+        }
+        out.sort_by_key(|&(_, seq, _)| seq);
+        Ok(out)
+    }
+
+    pub(crate) fn event_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds the event queue from a snapshot (arrivals only), keeping
+    /// the recorded per-event sequence numbers so heap tie-breaks replay
+    /// identically.
+    pub(crate) fn restore_queue(&mut self, arrivals: Vec<(f64, u64, Workload)>, next_seq: u64) {
+        for (time_s, seq, workload) in arrivals {
+            self.events.push(Event {
+                time_s,
+                seq,
+                kind: EventKind::Arrival(Box::new(workload)),
+            });
+        }
+        self.next_seq = next_seq;
+        sim_metrics().heap_depth.set_max(self.events.len() as u64);
+    }
+
+    /// Runs the simulation until `t_end_s` (inclusive of the final tick),
+    /// fast-forwarding idle spans when the manager allows it (see the
+    /// module docs for the exact time semantics).
     ///
-    /// Each iteration: deliver due events (arrivals → `on_arrival`, phase
-    /// changes → world mutation), advance physics one tick, notify
-    /// completions, then give the manager its periodic `on_tick`.
+    /// Each iteration: advance physics one tick, deliver events due by
+    /// the end of that tick (arrivals → `on_arrival`, phase changes →
+    /// world mutation), notify completions, then give the manager its
+    /// periodic `on_tick`. Events already due when the call starts —
+    /// including events at exactly a previously-reached horizon — are
+    /// delivered up front, and the final tick delivers everything due at
+    /// `t_end_s` itself, so no event within the horizon is ever dropped.
     ///
     /// Tick instants are computed as `start + k * tick_s` by integer tick
     /// index `k` — not by repeated `+= tick_s` accumulation, which for
@@ -192,40 +284,155 @@ impl Simulation {
     /// horizon. The final step clamps to `t_end_s`, so after the call
     /// `world().now() == t_end_s` holds bitwise whenever the clock moved.
     pub fn run_until(&mut self, t_end_s: f64) {
+        self.drive(t_end_s, true);
+    }
+
+    /// The dense tick loop: identical semantics to
+    /// [`run_until`](Simulation::run_until) but never fast-forwards idle
+    /// spans, visiting every tick like the original tick-driven core.
+    /// Retained as the differential-testing oracle for the event-driven
+    /// loop (see DESIGN.md §7 for its retirement path); production
+    /// callers should use `run_until`.
+    pub fn run_until_dense(&mut self, t_end_s: f64) {
+        self.drive(t_end_s, false);
+    }
+
+    fn drive(&mut self, t_end_s: f64, allow_skip: bool) {
         let tick = self.world.tick_s();
         let start = self.world.now();
+        // Events already due — scheduled at exactly `start`, or at/before
+        // a horizon an earlier call already reached — deliver now, at the
+        // clock they were scheduled for.
+        self.deliver_due(start);
         let mut k: u64 = 0;
         while self.world.now() + 1e-9 < t_end_s {
-            let now = self.world.now();
-            // Deliver events due by the end of this tick.
-            while self
-                .events
-                .peek()
-                .map(|e| e.time_s <= now + 1e-9)
-                .unwrap_or(false)
-            {
-                let event = self.events.pop().expect("peeked");
-                match event.kind {
-                    EventKind::Arrival(workload) => {
-                        let id = workload.id();
-                        self.world.submit(*workload);
-                        self.manager.on_arrival(&mut self.world, id);
-                    }
-                    EventKind::Phase(id, change) => match change {
-                        PhaseChange::RateFactor(f) => self.world.apply_phase_rate(id, f),
-                        PhaseChange::Interference(p) => self.world.apply_phase_interference(id, p),
-                    },
+            k += 1;
+            if allow_skip && self.world.is_idle() && !self.manager.needs_idle_ticks() {
+                let jump = idle_jump(
+                    k,
+                    self.world.now(),
+                    start,
+                    tick,
+                    t_end_s,
+                    self.events.peek().map(|e| e.time_s),
+                    self.world.next_metrics_due_s(),
+                );
+                if jump > k {
+                    sim_metrics().ticks_skipped.add(jump - k);
+                    k = jump;
                 }
             }
-
-            k += 1;
             let next = (start + k as f64 * tick).min(t_end_s);
             let completed = self.world.advance_to(next);
+            self.deliver_due(self.world.now());
             for id in completed {
                 self.manager.on_completion(&mut self.world, id);
+                self.world.retire_if_dropping(id);
             }
             self.manager.on_tick(&mut self.world);
         }
+    }
+
+    /// Delivers every queued event due at clock `now` (`time_s <= now`
+    /// within tolerance), in time-then-submission order.
+    fn deliver_due(&mut self, now: f64) {
+        while self
+            .events
+            .peek()
+            .map(|e| e.time_s <= now + 1e-9)
+            .unwrap_or(false)
+        {
+            let event = self.events.pop().expect("peeked");
+            sim_metrics().delivered.inc();
+            match event.kind {
+                EventKind::Arrival(workload) => {
+                    let id = workload.id();
+                    self.world.submit(*workload);
+                    self.manager.on_arrival(&mut self.world, id);
+                }
+                EventKind::Phase(id, change) => match change {
+                    PhaseChange::RateFactor(f) => self.world.apply_phase_rate(id, f),
+                    PhaseChange::Interference(p) => self.world.apply_phase_interference(id, p),
+                },
+            }
+        }
+    }
+}
+
+/// The tick index an idle driver may jump to: the covering tick of the
+/// earliest instant anything can happen (next queued event, next metrics
+/// sample, or the horizon). Returns at least `k`, the index the dense
+/// loop would visit next, and picks exactly the tick the dense loop
+/// would first observe that instant at — so skipping changes nothing
+/// observable.
+fn idle_jump(
+    k: u64,
+    now: f64,
+    start: f64,
+    tick: f64,
+    t_end_s: f64,
+    next_event_s: Option<f64>,
+    next_metrics_s: f64,
+) -> u64 {
+    let mut target = t_end_s.min(next_metrics_s);
+    if let Some(te) = next_event_s {
+        target = target.min(te);
+    }
+    if target <= now + 1e-9 {
+        // Due already (or at this very instant): the next tick handles it.
+        return k;
+    }
+    covering_tick(start, tick, target).max(k)
+}
+
+/// The first tick index `j` with `target <= start + j * tick + 1e-9` —
+/// the tick at which the dense loop's delivery/metrics checks would see
+/// `target` as due. Pinned by the same float expressions the loop uses,
+/// so the choice is bitwise-consistent with dense stepping.
+fn covering_tick(start: f64, tick: f64, target: f64) -> u64 {
+    let mut j = (((target - start) / tick).ceil()).max(0.0) as u64;
+    while j > 0 && target <= start + (j - 1) as f64 * tick + 1e-9 {
+        j -= 1;
+    }
+    while target > start + j as f64 * tick + 1e-9 {
+        j += 1;
+    }
+    j
+}
+
+/// Drives the shared tick loop for a bare `(world, manager)` pair with no
+/// event queue — the cell-round driver: cells deliver their arrivals at
+/// round boundaries, so within a round only physics, completions, and
+/// ticks happen. Applies the same integer-tick stepping, idle
+/// fast-forward, and completion-retention rules as [`Simulation`].
+pub(crate) fn drive_ticks<M: Manager + ?Sized>(world: &mut World, manager: &mut M, t_end_s: f64) {
+    let tick = world.tick_s();
+    let start = world.now();
+    let mut k: u64 = 0;
+    while world.now() + 1e-9 < t_end_s {
+        k += 1;
+        if world.is_idle() && !manager.needs_idle_ticks() {
+            let jump = idle_jump(
+                k,
+                world.now(),
+                start,
+                tick,
+                t_end_s,
+                None,
+                world.next_metrics_due_s(),
+            );
+            if jump > k {
+                sim_metrics().ticks_skipped.add(jump - k);
+                k = jump;
+            }
+        }
+        let next = (start + k as f64 * tick).min(t_end_s);
+        let completed = world.advance_to(next);
+        for id in completed {
+            manager.on_completion(world, id);
+            world.retire_if_dropping(id);
+        }
+        manager.on_tick(world);
     }
 }
 
@@ -270,6 +477,10 @@ mod tests {
         fn on_tick(&mut self, _world: &mut World) {}
 
         fn on_completion(&mut self, _world: &mut World, _id: WorkloadId) {}
+
+        fn needs_idle_ticks(&self) -> bool {
+            false
+        }
     }
 
     fn sim(manager: Box<dyn Manager>) -> Simulation {
@@ -418,5 +629,124 @@ mod tests {
         let mut generator = Generator::new(PlatformCatalog::local(), 4);
         let job = generator.single_node_job("x", 60.0, Priority::BestEffort);
         s.submit_at(job, 5.0);
+    }
+
+    /// Regression (horizon drop): an arrival scheduled at exactly the
+    /// run horizon — which `submit_at`'s assert permits — used to be
+    /// silently left in the queue when `run_until` exited. It must be
+    /// delivered at the horizon, within the same call.
+    #[test]
+    fn events_at_the_horizon_are_delivered() {
+        let mut s = sim(Box::new(GreedyFullServer));
+        let mut generator = Generator::new(PlatformCatalog::local(), 5);
+        let job = generator.single_node_job("edge", 300.0, Priority::Guaranteed);
+        let id = job.id();
+        s.submit_at(job, 30.0);
+        s.run_until(30.0);
+        assert_eq!(
+            s.world().state(id),
+            JobState::Running,
+            "horizon arrival must fire before run_until returns"
+        );
+        let record = &s.world().completions()[0];
+        assert_eq!(record.submitted_s, 30.0);
+
+        // Same at a horizon that is not a tick multiple.
+        let mut s = sim(Box::new(GreedyFullServer));
+        let job = generator.single_node_job("edge2", 300.0, Priority::Guaranteed);
+        let id = job.id();
+        s.submit_at(job, 32.0);
+        s.run_until(32.0);
+        assert_eq!(s.world().state(id), JobState::Running);
+    }
+
+    /// Regression (delivery latency): an event at mid-tick time `t` must
+    /// be delivered at the first tick boundary `>= t` and be visible to
+    /// that boundary's `on_tick` — not one full tick later, as the old
+    /// start-of-tick delivery condition produced.
+    #[test]
+    fn mid_tick_events_deliver_at_the_covering_tick() {
+        /// Records the clock of the first `on_tick` that sees a pending
+        /// workload, and of the `on_arrival` itself.
+        #[derive(Default)]
+        struct FirstSight {
+            arrival_at: std::cell::Cell<f64>,
+            tick_saw_pending_at: std::cell::Cell<f64>,
+        }
+        struct Watcher(std::rc::Rc<FirstSight>);
+        impl Manager for Watcher {
+            fn name(&self) -> &str {
+                "watcher"
+            }
+            fn on_arrival(&mut self, world: &mut World, _id: WorkloadId) {
+                if self.0.arrival_at.get() == 0.0 {
+                    self.0.arrival_at.set(world.now());
+                }
+            }
+            fn on_tick(&mut self, world: &mut World) {
+                if self.0.tick_saw_pending_at.get() == 0.0
+                    && !world.ids_in_state(JobState::Pending).is_empty()
+                {
+                    self.0.tick_saw_pending_at.set(world.now());
+                }
+            }
+            fn on_completion(&mut self, _world: &mut World, _id: WorkloadId) {}
+        }
+
+        let sight = std::rc::Rc::new(FirstSight::default());
+        let mut s = sim(Box::new(Watcher(sight.clone())));
+        let mut generator = Generator::new(PlatformCatalog::local(), 6);
+        let job = generator.single_node_job("mid", 300.0, Priority::Guaranteed);
+        s.submit_at(job, 7.0); // mid-tick: ticks land at 5, 10, 15, ...
+        s.run_until(30.0);
+        assert_eq!(
+            sight.arrival_at.get(),
+            10.0,
+            "delivered at the covering tick boundary"
+        );
+        assert_eq!(
+            sight.tick_saw_pending_at.get(),
+            10.0,
+            "the covering tick's own on_tick must already see the event"
+        );
+    }
+
+    /// The idle fast-forward must be observationally equivalent to the
+    /// dense loop: same completion digest, same completion records, same
+    /// metrics sample count and grid.
+    #[test]
+    fn idle_skip_matches_dense_loop_bitwise() {
+        let run = |dense: bool| {
+            let mut s = sim(Box::new(GreedyFullServer));
+            let mut generator = Generator::new(PlatformCatalog::local(), 7);
+            // Long idle gaps between arrivals, horizon far past the last
+            // completion — exactly the spans the skip path eats.
+            for (i, at) in [(0u64, 100.0), (1, 2_000.0), (2, 7_333.0)] {
+                let job = generator.single_node_job(format!("j{i}"), 400.0, Priority::Guaranteed);
+                s.submit_at(job, at);
+            }
+            if dense {
+                s.run_until_dense(20_000.0);
+            } else {
+                s.run_until(20_000.0);
+            }
+            (
+                s.world().completion_digest(),
+                s.world().completions(),
+                s.world()
+                    .metrics()
+                    .samples()
+                    .iter()
+                    .map(|m| m.time_s.to_bits())
+                    .collect::<Vec<_>>(),
+                s.world().now().to_bits(),
+            )
+        };
+        let dense = run(true);
+        let skipped = run(false);
+        assert_eq!(dense.0, skipped.0, "completion digest");
+        assert_eq!(dense.1, skipped.1, "completion records");
+        assert_eq!(dense.2, skipped.2, "metrics grid");
+        assert_eq!(dense.3, skipped.3, "final clock");
     }
 }

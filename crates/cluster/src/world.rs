@@ -1,6 +1,6 @@
 //! The simulated world: cluster physics plus the manager-facing API.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::OnceLock;
 
 use quasar_obs::registry::{Counter, Registry};
@@ -254,6 +254,31 @@ struct Injection {
     until_s: f64,
 }
 
+/// What the world keeps for jobs after they finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep every entry for full post-run reporting (the default — all
+    /// figure experiments need [`World::completions`]).
+    #[default]
+    KeepAll,
+    /// Drop completed batch entries once the manager has been notified,
+    /// keeping only the running [`World::completion_digest`]. Bounds
+    /// memory for million-job runs at the cost of per-job
+    /// [`World::completions`] records.
+    DropCompleted,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut digest: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        digest ^= byte as u64;
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
 /// The simulated world: cluster state, workload ground truth, physics, and
 /// the measurement-bounded API managers are allowed to call.
 ///
@@ -265,11 +290,27 @@ pub struct World {
     tick_s: f64,
     cluster: ClusterState,
     entries: HashMap<WorkloadId, Entry>,
+    /// Sorted indexes over `entries` by lifecycle state, maintained at
+    /// every transition so the physics loop and the event driver touch
+    /// O(running) jobs, not O(all jobs ever submitted). BTreeSet
+    /// iteration is id-sorted — the same order the old full-scan-and-sort
+    /// produced — so per-job RNG draws happen in an identical sequence.
+    pending: BTreeSet<WorkloadId>,
+    running: BTreeSet<WorkloadId>,
     injections: Vec<Injection>,
     rng: StdRng,
     noise: f64,
     metrics: MetricsRecorder,
     journal: Journal,
+    retention: Retention,
+    /// FNV-1a over every batch completion, folded in completion order:
+    /// id, submitted/placed/finished bits, peak cores. The digest is the
+    /// outcome identity of a run — identical streams through the tick
+    /// and event cores, or through a snapshot/resume boundary, must
+    /// reproduce it exactly.
+    completion_digest: u64,
+    /// Entries dropped under [`Retention::DropCompleted`].
+    retired: u64,
 }
 
 impl World {
@@ -285,11 +326,16 @@ impl World {
             tick_s,
             cluster,
             entries: HashMap::new(),
+            pending: BTreeSet::new(),
+            running: BTreeSet::new(),
             injections: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             noise,
             metrics: MetricsRecorder::new(metrics_interval_s),
             journal: Journal::new(100_000),
+            retention: Retention::KeepAll,
+            completion_digest: FNV_OFFSET,
+            retired: 0,
         }
     }
 
@@ -358,16 +404,47 @@ impl World {
         ids
     }
 
-    /// Ids of workloads currently in the given state.
+    /// Ids of workloads currently in the given state, sorted by id.
+    ///
+    /// Pending and Running come from maintained indexes (O(state size));
+    /// the terminal states scan, since nothing on a hot path asks for
+    /// them.
     pub fn ids_in_state(&self, state: JobState) -> Vec<WorkloadId> {
-        let mut ids: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.state == state)
-            .map(|(id, _)| *id)
-            .collect();
-        ids.sort();
-        ids
+        match state {
+            JobState::Pending => self.pending.iter().copied().collect(),
+            JobState::Running => self.running.iter().copied().collect(),
+            JobState::Completed | JobState::Killed => {
+                let mut ids: Vec<_> = self
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.state == state)
+                    .map(|(id, _)| *id)
+                    .collect();
+                ids.sort();
+                ids
+            }
+        }
+    }
+
+    /// How many workloads are currently in the given state (no
+    /// allocation; terminal states count retired entries too).
+    pub fn count_in_state(&self, state: JobState) -> usize {
+        match state {
+            JobState::Pending => self.pending.len(),
+            JobState::Running => self.running.len(),
+            JobState::Completed | JobState::Killed => {
+                self.entries.values().filter(|e| e.state == state).count()
+            }
+        }
+    }
+
+    /// Whether nothing can make progress without manager or event input:
+    /// no job is running and none is waiting for a placement. A driver
+    /// may fast-forward an idle world to the next scheduled instant —
+    /// physics over an idle span is a no-op (no progress, no RNG draws,
+    /// no completions).
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty() && self.pending.is_empty()
     }
 
     /// The latest monitoring observation for a workload.
@@ -430,6 +507,8 @@ impl World {
         let entry = self.entry_mut(id);
         entry.state = JobState::Running;
         entry.placed_s.get_or_insert(now);
+        self.pending.remove(&id);
+        self.running.insert(id);
         Ok(())
     }
 
@@ -453,6 +532,10 @@ impl World {
                 JobState::Killed
             };
             entry.last_obs = None;
+            self.running.remove(&id);
+            if requeue {
+                self.pending.insert(id);
+            }
         }
     }
 
@@ -737,6 +820,142 @@ impl World {
         &self.journal
     }
 
+    /// Mutable journal access for drivers that attach a chunk provider
+    /// or checkpoint/restore the stream.
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Sets the retention policy for finished entries. Under
+    /// [`Retention::DropCompleted`] per-job [`completions`](World::completions)
+    /// records are unavailable for retired jobs; the
+    /// [`completion_digest`](World::completion_digest) remains the full
+    /// outcome identity.
+    pub fn set_retention(&mut self, retention: Retention) {
+        self.retention = retention;
+    }
+
+    /// Running FNV-1a digest over every batch completion so far (id,
+    /// submitted/placed/finished time bits, peak cores, folded in
+    /// completion order). Invariant across drivers and across a
+    /// snapshot/resume boundary.
+    pub fn completion_digest(&self) -> u64 {
+        self.completion_digest
+    }
+
+    /// Completed entries dropped under [`Retention::DropCompleted`].
+    pub fn retired_count(&self) -> u64 {
+        self.retired
+    }
+
+    fn fold_completion(&mut self, id: WorkloadId) {
+        let entry = &self.entries[&id];
+        let mut d = self.completion_digest;
+        d = fnv_fold(d, id.0);
+        d = fnv_fold(d, entry.submitted_s.to_bits());
+        d = fnv_fold(d, entry.placed_s.unwrap_or(f64::NAN).to_bits());
+        d = fnv_fold(d, entry.finished_s.unwrap_or(f64::NAN).to_bits());
+        d = fnv_fold(d, entry.peak_cores as u64);
+        self.completion_digest = d;
+    }
+
+    /// Drops a completed entry if the retention policy says so. Drivers
+    /// call this after the manager's completion callback has run, so the
+    /// manager still sees the entry while reacting. Returns whether the
+    /// entry was dropped.
+    pub(crate) fn retire_if_dropping(&mut self, id: WorkloadId) -> bool {
+        if self.retention != Retention::DropCompleted {
+            return false;
+        }
+        if self
+            .entries
+            .get(&id)
+            .is_some_and(|e| e.state == JobState::Completed)
+        {
+            self.entries.remove(&id);
+            self.retired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot support (crate-private; see the `snapshot` module).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    pub(crate) fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    pub(crate) fn injections_active(&self) -> bool {
+        !self.injections.is_empty()
+    }
+
+    /// All entries sorted by id, for deterministic snapshot output.
+    pub(crate) fn snapshot_entries(&self) -> Vec<(WorkloadId, &Entry)> {
+        let mut out: Vec<_> = self.entries.iter().map(|(id, e)| (*id, e)).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// All placements sorted by workload id, for deterministic snapshot
+    /// output.
+    pub(crate) fn snapshot_placements(&self) -> Vec<&Placement> {
+        let mut out: Vec<_> = self.cluster.placements().collect();
+        out.sort_by_key(|p| p.workload);
+        out
+    }
+
+    pub(crate) fn restore_clock(&mut self, now: f64) {
+        self.now = now;
+        quasar_obs::set_sim_time(now);
+    }
+
+    pub(crate) fn restore_accounting(&mut self, digest: u64, retired: u64) {
+        self.completion_digest = digest;
+        self.retired = retired;
+    }
+
+    pub(crate) fn restore_metrics(&mut self, next_index: u64, prior_count: u64) {
+        self.metrics.resume_at(next_index, prior_count);
+    }
+
+    pub(crate) fn metrics_checkpoint(&self) -> (u64, u64) {
+        (self.metrics.next_index(), self.metrics.total_count())
+    }
+
+    /// Re-inserts an entry from a snapshot, maintaining the state
+    /// indexes. Bypasses [`submit`](World::submit): the entry keeps its
+    /// recorded submission time and lifecycle state.
+    pub(crate) fn restore_entry(&mut self, entry: Entry) {
+        let id = entry.workload.id();
+        assert!(
+            !self.entries.contains_key(&id),
+            "workload ids must be unique"
+        );
+        match entry.state {
+            JobState::Pending => {
+                self.pending.insert(id);
+            }
+            JobState::Running => {
+                self.running.insert(id);
+            }
+            JobState::Completed | JobState::Killed => {}
+        }
+        self.entries.insert(id, entry);
+    }
+
+    /// Re-commits a placement from a snapshot without journaling (the
+    /// pre-snapshot journal stream already carries its `placed` event).
+    pub(crate) fn restore_placement(&mut self, placement: Placement) -> Result<(), PlaceError> {
+        self.cluster.place(placement)
+    }
+
     // ------------------------------------------------------------------
     // Simulation internals (crate-private).
     // ------------------------------------------------------------------
@@ -747,6 +966,13 @@ impl World {
 
     fn entry_mut(&mut self, id: WorkloadId) -> &mut Entry {
         self.entries.get_mut(&id).expect("unknown workload")
+    }
+
+    /// The next instant a metrics sample becomes due (for drivers that
+    /// fast-forward idle spans: they must still stop at every covering
+    /// tick of the sampling grid so the heatmap keeps its cadence).
+    pub(crate) fn next_metrics_due_s(&self) -> f64 {
+        self.metrics.next_due_s()
     }
 
     fn sample_noise(&mut self) -> f64 {
@@ -764,6 +990,7 @@ impl World {
             "workload ids must be unique"
         );
         self.entries.insert(id, Entry::new(workload, self.now));
+        self.pending.insert(id);
     }
 
     pub(crate) fn apply_phase_rate(&mut self, id: WorkloadId, factor: f64) {
@@ -880,7 +1107,7 @@ impl World {
         world_metrics().ticks.inc();
         self.injections.retain(|inj| inj.until_s > self.now);
 
-        let running: Vec<WorkloadId> = self.ids_in_state(JobState::Running);
+        let running: Vec<WorkloadId> = self.running.iter().copied().collect();
         let mut completed = Vec::new();
 
         for id in running {
@@ -969,9 +1196,11 @@ impl World {
         }
 
         for id in completed.iter() {
+            self.running.remove(id);
             self.cluster.release(*id);
             self.journal
                 .record(self.now, JournalEvent::Completed { workload: *id });
+            self.fold_completion(*id);
         }
 
         if self.metrics.due(self.now) {

@@ -140,6 +140,12 @@ impl Manager for BatchAdmission {
         "batch-admission"
     }
 
+    // Every queued job is world-pending, so an idle world implies an
+    // empty admission queue and a no-op tick: idle spans may be skipped.
+    fn needs_idle_ticks(&self) -> bool {
+        false
+    }
+
     fn on_arrival(&mut self, _world: &mut World, id: WorkloadId) {
         self.queue.push_back(id);
     }

@@ -60,6 +60,12 @@ impl Generator {
         id
     }
 
+    /// Positions the generator so the next workload gets id `id` (for
+    /// index-addressable streams; see [`bench_job`]).
+    fn seek(&mut self, id: u64) {
+        self.next_id = id;
+    }
+
     /// A distributed analytics job (Hadoop/Spark/Storm).
     ///
     /// The job is calibrated so the *stock* configuration on `ref_nodes`
@@ -327,6 +333,20 @@ impl Generator {
             })
             .collect()
     }
+}
+
+/// A deterministic single-node benchmark job addressable by index: job
+/// `k` is a pure function of `(catalog, seed, k)` with id
+/// `WorkloadId(k)`, so a resumed run regenerates exactly the jobs it
+/// needs in O(1) each instead of replaying a sequential generator
+/// stream from the start.
+pub fn bench_job(catalog: &PlatformCatalog, seed: u64, k: u64, duration_s: f64) -> Workload {
+    let mut generator = Generator::new(
+        catalog.clone(),
+        seed.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    generator.seek(k);
+    generator.single_node_job(format!("bench-{k}"), duration_s, Priority::Guaranteed)
 }
 
 /// Best completion time for `model` over any platform and framework

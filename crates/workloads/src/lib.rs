@@ -43,7 +43,7 @@ mod target;
 
 pub use class::WorkloadClass;
 pub use dataset::Dataset;
-pub use framework::{hadoop_wave_nodes, FrameworkParams};
+pub use framework::{hadoop_wave_nodes, Compression, FrameworkParams};
 pub use load::LoadPattern;
 pub use model::{BatchModel, NodeResources, PerfModel, ServiceModel, ServiceObservation};
 pub use platform::{Platform, PlatformCatalog, PlatformId};
