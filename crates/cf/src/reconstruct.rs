@@ -276,6 +276,13 @@ impl Reconstructor {
             return Err(ReconstructError::Empty);
         }
         let model = PqModel::train(a, &self.config);
+        Ok(self.finish_predictions(&model, a))
+    }
+
+    /// The steps of [`Reconstructor::try_reconstruct`] after model
+    /// training: predict every cell, restore the observed entries, and
+    /// clamp to the observed range.
+    fn finish_predictions(&self, model: &PqModel, a: &SparseMatrix) -> DenseMatrix {
         let mut dense = model.predict_all();
         // Observed entries are authoritative; keep the raw measurements.
         for (r, c, v) in a.iter() {
@@ -291,7 +298,7 @@ impl Reconstructor {
                 *v = v.clamp(lo, hi);
             }
         }
-        Ok(dense)
+        dense
     }
 
     /// Predicts the missing entries of a single target row given a dense
@@ -359,6 +366,70 @@ impl Reconstructor {
         }
         drop(guard);
         row
+    }
+
+    /// [`Reconstructor::reconstruct_row`] that also returns the trained
+    /// [`PqModel`], for callers that keep models around to warm-start
+    /// later reconstructions (the similarity index in `quasar-core`).
+    ///
+    /// Deliberately **uncached**: it always trains, leaving the row memo
+    /// and its hit/miss/eviction counters untouched, so the plain
+    /// cached path behaves byte-identically whether or not anyone ever
+    /// captures models. Reconstruction is a pure function of
+    /// `(history, target, config)`, so the returned row is bit-identical
+    /// to what [`Reconstructor::reconstruct_row`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconstructor::reconstruct_row`].
+    pub fn reconstruct_row_with_model(
+        &self,
+        history: &DenseMatrix,
+        target: &[(usize, f64)],
+    ) -> Result<(Vec<f64>, PqModel), ReconstructError> {
+        self.reconstruct_row_model(history, target, None)
+    }
+
+    /// Like [`Reconstructor::reconstruct_row_with_model`], but
+    /// warm-starts SGD from `warm`'s factors via [`PqModel::train_warm`],
+    /// skipping the SVD. Falls back to a cold train when the factor
+    /// shapes do not line up with `(history, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reconstructor::reconstruct_row`].
+    pub fn reconstruct_row_warm(
+        &self,
+        history: &DenseMatrix,
+        target: &[(usize, f64)],
+        warm: &PqModel,
+    ) -> Result<(Vec<f64>, PqModel), ReconstructError> {
+        self.reconstruct_row_model(history, target, Some(warm))
+    }
+
+    fn reconstruct_row_model(
+        &self,
+        history: &DenseMatrix,
+        target: &[(usize, f64)],
+        warm: Option<&PqModel>,
+    ) -> Result<(Vec<f64>, PqModel), ReconstructError> {
+        if target.is_empty() {
+            return Err(ReconstructError::Empty);
+        }
+        if history.rows() == 0 {
+            return Err(ReconstructError::Unanchored);
+        }
+        let mut sparse = SparseMatrix::from_dense_rows(history);
+        let target_row = sparse.push_row();
+        for &(c, v) in target {
+            sparse.insert(target_row, c, v);
+        }
+        let model = match warm.and_then(|w| PqModel::train_warm(&sparse, &self.config, w)) {
+            Some(m) => m,
+            None => PqModel::train(&sparse, &self.config),
+        };
+        let dense = self.finish_predictions(&model, &sparse);
+        Ok((dense.row(target_row).to_vec(), model))
     }
 
     /// Cache hits and misses of the row memo, for benchmarks and tests.
@@ -617,6 +688,59 @@ mod tests {
             assert_eq!(bits(&rows[0]), bits(row), "all threads see identical bits");
         }
         assert_eq!(rec.row_cache_stats(), (threads as u64 - 1, 1));
+    }
+
+    #[test]
+    fn with_model_matches_cached_row_bitwise_and_skips_the_cache() {
+        let history = DenseMatrix::from_fn(6, 5, |r, c| (r as f64 + 1.5) * (c as f64 + 0.5));
+        let rec = Reconstructor::new();
+        let target = [(0usize, 1.2), (3usize, 4.8)];
+        let cached = rec.reconstruct_row(&history, &target).unwrap();
+        let (modeled, model) = rec.reconstruct_row_with_model(&history, &target).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&cached), bits(&modeled));
+        assert!(model.rank() >= 1);
+        // The model-capturing path must not have touched the memo: one
+        // cached call = 1 miss, and the uncached call adds nothing.
+        assert_eq!(rec.row_cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn warm_reconstruction_stays_close_to_cold() {
+        // Rows proportional to [1, 2, 3, 4], as in
+        // `reconstruct_row_predicts_from_history` (SGD converges here).
+        let history = DenseMatrix::from_fn(5, 4, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0));
+        let rec = Reconstructor::new();
+        let (cold_row, model) = rec
+            .reconstruct_row_with_model(&history, &[(0, 2.5), (2, 7.5)])
+            .unwrap();
+        // A near-duplicate target warm-started from the neighbor's model.
+        let (warm_row, warm_model) = rec
+            .reconstruct_row_warm(&history, &[(0, 2.52), (2, 7.48)], &model)
+            .unwrap();
+        assert_eq!(warm_model.rank(), model.rank());
+        for (w, c) in warm_row.iter().zip(&cold_row) {
+            assert!(
+                (w - c).abs() / c.abs().max(1e-9) < 0.15,
+                "warm row drifted: {w} vs {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_reconstruction_falls_back_on_shape_mismatch() {
+        let history = DenseMatrix::from_fn(6, 5, |r, c| (r as f64 + 1.5) * (c as f64 + 0.5));
+        let other = DenseMatrix::from_fn(3, 4, |r, c| (r + c) as f64 + 1.0);
+        let rec = Reconstructor::new();
+        let (_, wrong_shape) = rec.reconstruct_row_with_model(&other, &[(0, 1.0)]).unwrap();
+        let (cold_row, _) = rec
+            .reconstruct_row_with_model(&history, &[(0, 1.2)])
+            .unwrap();
+        let (fallback_row, _) = rec
+            .reconstruct_row_warm(&history, &[(0, 1.2)], &wrong_shape)
+            .unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&cold_row), bits(&fallback_row));
     }
 
     #[test]

@@ -219,6 +219,23 @@ impl Axes {
             .expect("axis non-empty")
     }
 
+    /// The scale-out column holding exactly `nodes`, or `None` when this
+    /// axis configuration does not include that count.
+    pub fn scale_out_position(&self, nodes: usize) -> Option<usize> {
+        self.scale_out.iter().position(|&n| n == nodes)
+    }
+
+    /// The scale-out column for `nodes`, falling back to the nearest
+    /// column when the exact count is absent from the axis.
+    ///
+    /// Custom axis configurations (a coarser grid, a cluster capped below
+    /// some node count) are legal; code that only needs a representative
+    /// column must degrade to the nearest one instead of panicking.
+    pub fn scale_out_or_nearest(&self, nodes: usize) -> usize {
+        self.scale_out_position(nodes)
+            .unwrap_or_else(|| self.nearest_scale_out(nodes))
+    }
+
     /// The heterogeneity column index for a platform.
     ///
     /// # Panics
@@ -286,6 +303,20 @@ mod tests {
         assert_eq!(axes.scale_out[axes.nearest_scale_out(1)], 1);
         assert_eq!(axes.scale_out[axes.nearest_scale_out(5)], 4);
         assert_eq!(axes.scale_out[axes.nearest_scale_out(1000)], 32);
+    }
+
+    #[test]
+    fn scale_out_lookup_degrades_gracefully_on_custom_axes() {
+        let mut axes = Axes::for_catalog(&PlatformCatalog::local());
+        assert_eq!(axes.scale_out_position(1), Some(0));
+        assert_eq!(axes.scale_out_or_nearest(1), 0);
+        // A custom axis set that omits both the 1-node and 8-node counts
+        // must fall back to the nearest column, not panic.
+        axes.scale_out = vec![2, 6, 12];
+        assert_eq!(axes.scale_out_position(1), None);
+        assert_eq!(axes.scale_out_position(8), None);
+        assert_eq!(axes.scale_out_or_nearest(1), 0); // 2 is nearest to 1
+        assert_eq!(axes.scale_out_or_nearest(8), 1); // 6 beats 12 for 8
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::sync::OnceLock;
 
-use quasar_cf::{DenseMatrix, Reconstructor};
+use quasar_cf::{DenseMatrix, PqModel, Reconstructor};
 use quasar_interference::PressureVector;
 use quasar_obs::registry::{Counter, Histogram, Registry};
 use quasar_obs::span::timed;
@@ -83,6 +83,43 @@ enum AxisOut {
     ScaleOut(Option<Vec<f64>>),
     Params(Option<Vec<f64>>),
     Pressure(PressureVector, PressureVector),
+}
+
+/// The per-axis latent-factor models behind one [`Classification`],
+/// captured so the similarity index can warm-start SGD for a later,
+/// similar arrival ([`Classifier::classify_warm`]) instead of paying
+/// the SVD initialization again.
+///
+/// Axes that were not reconstructed carry `None`: scale-out/params when
+/// the workload lacks them, and the interference axes when profiling
+/// produced no pressure observations (those fall back to a uniform
+/// estimate without training anything).
+#[derive(Debug, Clone)]
+pub struct AxisModels {
+    /// Scale-up axis model.
+    pub scale_up: PqModel,
+    /// Heterogeneity axis model.
+    pub hetero: PqModel,
+    /// Scale-out axis model.
+    pub scale_out: Option<PqModel>,
+    /// Framework-parameter axis model.
+    pub params: Option<PqModel>,
+    /// Tolerated-pressure axis model.
+    pub tolerated: Option<PqModel>,
+    /// Caused-pressure axis model.
+    pub caused: Option<PqModel>,
+}
+
+/// A pressure estimate plus the model that produced it (when trained).
+type PressureOutM = (PressureVector, Option<PqModel>);
+
+/// The model-capturing variant of [`AxisOut`].
+enum AxisOutM {
+    ScaleUp(Vec<f64>, PqModel),
+    Hetero(Vec<f64>, PqModel),
+    ScaleOut(Option<(Vec<f64>, PqModel)>),
+    Params(Option<(Vec<f64>, PqModel)>),
+    Pressure(Box<(PressureOutM, PressureOutM)>),
 }
 
 /// Runs the four parallel classifications.
@@ -234,6 +271,179 @@ impl Classifier {
         )
     }
 
+    /// [`Classifier::classify_timed`] that also captures the trained
+    /// per-axis models, so the caller (the similarity index) can store
+    /// them for later warm starts.
+    ///
+    /// The reconstructions bypass the row cache (models must actually be
+    /// trained to be captured), but reconstruction is a pure function of
+    /// its inputs, so the returned [`Classification`] is **bit-identical**
+    /// to [`Classifier::classify`] on the same `(history, data)` — only
+    /// the wall-clock time can differ.
+    pub fn classify_with_models(
+        &self,
+        history: &HistorySet,
+        data: &ProfilingData,
+    ) -> (Classification, f64, AxisModels) {
+        self.classify_models_inner(history, data, None)
+    }
+
+    /// Classifies with every axis's SGD warm-started from a similar
+    /// neighbor's captured models (skipping the SVD initialization), and
+    /// captures the newly trained models in turn. Axes whose neighbor
+    /// model is absent or shape-incompatible fall back to a cold train.
+    pub fn classify_warm(
+        &self,
+        history: &HistorySet,
+        data: &ProfilingData,
+        warm: &AxisModels,
+    ) -> (Classification, f64, AxisModels) {
+        self.classify_models_inner(history, data, Some(warm))
+    }
+
+    /// Shared driver for the model-capturing paths: the same five-task
+    /// fan-out, latency model, and metrics as [`Classifier::classify_timed`].
+    fn classify_models_inner(
+        &self,
+        history: &HistorySet,
+        data: &ProfilingData,
+        warm: Option<&AxisModels>,
+    ) -> (Classification, f64, AxisModels) {
+        let kind = data.kind;
+        let k: &KindHistory = history.kind(kind);
+        let _decision_span = quasar_obs::span!("core.classify.decision");
+
+        type AxisTask<'a> = Box<dyn FnOnce() -> (AxisOutM, f64) + Send + 'a>;
+        let tasks: Vec<AxisTask<'_>> = vec![
+            Box::new(move || {
+                timed("core.classify.scale_up", || {
+                    let (v, m) = self.speed_axis_model(
+                        kind,
+                        &k.scale_up,
+                        &data.scale_up,
+                        warm.map(|w| &w.scale_up),
+                    );
+                    AxisOutM::ScaleUp(v, m)
+                })
+            }),
+            Box::new(move || {
+                timed("core.classify.hetero", || {
+                    let (v, m) = self.speed_axis_model(
+                        kind,
+                        &k.hetero,
+                        &data.hetero,
+                        warm.map(|w| &w.hetero),
+                    );
+                    AxisOutM::Hetero(v, m)
+                })
+            }),
+            Box::new(move || {
+                timed("core.classify.scale_out", || {
+                    AxisOutM::ScaleOut(
+                        k.scale_out
+                            .as_ref()
+                            .filter(|_| !data.scale_out.is_empty())
+                            .map(|m| {
+                                self.speed_axis_model(
+                                    kind,
+                                    m,
+                                    &data.scale_out,
+                                    warm.and_then(|w| w.scale_out.as_ref()),
+                                )
+                            }),
+                    )
+                })
+            }),
+            Box::new(move || {
+                timed("core.classify.params", || {
+                    AxisOutM::Params(k.params.as_ref().filter(|_| !data.params.is_empty()).map(
+                        |m| {
+                            self.speed_axis_model(
+                                kind,
+                                m,
+                                &data.params,
+                                warm.and_then(|w| w.params.as_ref()),
+                            )
+                        },
+                    ))
+                })
+            }),
+            Box::new(move || {
+                timed("core.classify.interference", || {
+                    let tolerated = self.pressure_axis_model(
+                        &k.tolerated,
+                        &data.tolerated,
+                        warm.and_then(|w| w.tolerated.as_ref()),
+                    );
+                    let caused = self.pressure_axis_model(
+                        &k.caused,
+                        &data.caused,
+                        warm.and_then(|w| w.caused.as_ref()),
+                    );
+                    AxisOutM::Pressure(Box::new((tolerated, caused)))
+                })
+            }),
+        ];
+
+        let results = crate::par::par_invoke(self.threads, tasks);
+        let wall_us = results.iter().map(|(_, us)| *us).fold(0.0, f64::max);
+        let metrics = classify_metrics();
+        metrics.classifications.inc();
+        for (_, us) in &results {
+            metrics.axis_us.record(*us);
+        }
+        metrics.decision_us.record(wall_us);
+
+        let mut scale_up = None;
+        let mut hetero = None;
+        let mut scale_out = None;
+        let mut params = None;
+        let mut pressure = None;
+        for (out, _) in results {
+            match out {
+                AxisOutM::ScaleUp(v, m) => scale_up = Some((v, m)),
+                AxisOutM::Hetero(v, m) => hetero = Some((v, m)),
+                AxisOutM::ScaleOut(v) => scale_out = v,
+                AxisOutM::Params(v) => params = v,
+                AxisOutM::Pressure(tc) => pressure = Some(*tc),
+            }
+        }
+        let (scale_up_speed, scale_up_model) = scale_up.expect("scale-up task ran");
+        let (hetero_speed, hetero_model) = hetero.expect("hetero task ran");
+        let (scale_out_speed, scale_out_model) = match scale_out {
+            Some((v, m)) => (Some(v), Some(m)),
+            None => (None, None),
+        };
+        let (params_speed, params_model) = match params {
+            Some((v, m)) => (Some(v), Some(m)),
+            None => (None, None),
+        };
+        let ((tolerated, tolerated_model), (caused, caused_model)) =
+            pressure.expect("interference task ran");
+
+        (
+            Classification {
+                kind,
+                scale_up_speed,
+                scale_out_speed,
+                hetero_speed,
+                params_speed,
+                tolerated,
+                caused,
+                runtime_calibration: 1.0,
+            },
+            wall_us,
+            AxisModels {
+                scale_up: scale_up_model,
+                hetero: hetero_model,
+                scale_out: scale_out_model,
+                params: params_model,
+                tolerated: tolerated_model,
+                caused: caused_model,
+            },
+        )
+    }
+
     /// Reconstructs one speed axis: goal-value observations → ln-speed
     /// row → CF against history → linear speeds.
     fn speed_axis(
@@ -279,6 +489,69 @@ impl Classifier {
             );
         }
         v
+    }
+
+    /// [`Classifier::speed_axis`] that trains uncached and returns the
+    /// model, optionally warm-starting from a neighbor's. The float
+    /// pipeline is identical, so the speeds match the cached path
+    /// bit-for-bit on a cold train.
+    fn speed_axis_model(
+        &self,
+        kind: GoalKind,
+        history: &DenseMatrix,
+        observed: &[(usize, f64)],
+        warm: Option<&PqModel>,
+    ) -> (Vec<f64>, PqModel) {
+        let target: Vec<(usize, f64)> = observed
+            .iter()
+            .map(|&(c, v)| (c, ln_speed(kind, v)))
+            .collect();
+        let (row, model) = match warm {
+            Some(w) => self.reconstructor.reconstruct_row_warm(history, &target, w),
+            None => self
+                .reconstructor
+                .reconstruct_row_with_model(history, &target),
+        }
+        .expect("history is dense and target non-empty");
+        (row.into_iter().map(f64::exp).collect(), model)
+    }
+
+    /// [`Classifier::pressure_axis`] that trains uncached and returns
+    /// the model (`None` on the no-observations uniform fallback).
+    fn pressure_axis_model(
+        &self,
+        history: &DenseMatrix,
+        observed: &[(usize, f64)],
+        warm: Option<&PqModel>,
+    ) -> (PressureVector, Option<PqModel>) {
+        if observed.is_empty() {
+            return (PressureVector::uniform(PressureVector::MAX / 2.0), None);
+        }
+        let scaled_history = DenseMatrix::from_fn(history.rows(), history.cols(), |r, c| {
+            history.get(r, c) / PressureVector::MAX
+        });
+        let scaled_observed: Vec<(usize, f64)> = observed
+            .iter()
+            .map(|&(c, v)| (c, v / PressureVector::MAX))
+            .collect();
+        let (row, model) = match warm {
+            Some(w) => {
+                self.reconstructor
+                    .reconstruct_row_warm(&scaled_history, &scaled_observed, w)
+            }
+            None => self
+                .reconstructor
+                .reconstruct_row_with_model(&scaled_history, &scaled_observed),
+        }
+        .expect("history is dense and target non-empty");
+        let mut v = PressureVector::zero();
+        for (i, value) in row.into_iter().enumerate() {
+            v.set(
+                quasar_interference::SharedResource::from_index(i),
+                value * PressureVector::MAX,
+            );
+        }
+        (v, Some(model))
     }
 }
 
@@ -465,6 +738,56 @@ mod tests {
             assert_eq!(bits(&serial.scale_up_speed), bits(&parallel.scale_up_speed));
             assert_eq!(bits(&serial.hetero_speed), bits(&parallel.hetero_speed));
         }
+    }
+
+    /// `classify_with_models` (the similarity index's miss path) must be
+    /// bit-identical to the plain cached path — this is what makes
+    /// "index enabled, no hits" byte-identical to "index disabled".
+    #[test]
+    fn model_capturing_classification_is_bit_identical_to_plain() {
+        let catalog = PlatformCatalog::local();
+        let history = HistorySet::bootstrap(&catalog, 8, 41);
+        let axes = history.axes().clone();
+
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 1),
+            Box::new(NullManager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog.clone(), 7);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "model-probe",
+            Dataset::new("d", 12.0, 1.0),
+            2,
+            600.0,
+            Priority::Guaranteed,
+        );
+        let id = job.id();
+        sim.submit_at(job, 0.0);
+        sim.run_until(5.0);
+        let data = Profiler::new(2, 9).profile(sim.world_mut(), &axes, id);
+
+        let classifier = Classifier::new();
+        let plain = classifier.classify(&history, &data);
+        let (modeled, _, models) = classifier.classify_with_models(&history, &data);
+        assert_eq!(plain, modeled);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&plain.scale_up_speed), bits(&modeled.scale_up_speed));
+        assert_eq!(bits(&plain.hetero_speed), bits(&modeled.hetero_speed));
+        // A Hadoop job reconstructs every axis, so every model is there.
+        assert!(models.scale_out.is_some());
+        assert!(models.params.is_some());
+        assert!(models.tolerated.is_some());
+
+        // Warm-starting from the captured models on the same data stays
+        // a valid classification (finite, positive speeds).
+        let (warm, _, _) = classifier.classify_warm(&history, &data, &models);
+        assert_eq!(warm.kind, plain.kind);
+        assert!(warm
+            .scale_up_speed
+            .iter()
+            .all(|s| s.is_finite() && *s > 0.0));
     }
 
     #[test]

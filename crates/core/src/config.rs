@@ -1,5 +1,7 @@
 //! Quasar manager configuration.
 
+use crate::similarity::SimilarityConfig;
+
 /// Tunables of the Quasar manager; defaults follow the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuasarConfig {
@@ -46,6 +48,11 @@ pub struct QuasarConfig {
     /// function of its inputs, so any value produces bit-identical
     /// results; 1 (the default) keeps the serial path.
     pub threads: usize,
+    /// The workload-similarity index ([`crate::similarity`]): when
+    /// enabled, repeat arrivals skip or warm-start reconstruction.
+    /// Disabled by default — the manager then behaves bit-identically
+    /// to a build without the index.
+    pub similarity: SimilarityConfig,
 }
 
 impl Default for QuasarConfig {
@@ -67,6 +74,7 @@ impl Default for QuasarConfig {
             prediction_lead_s: 120.0,
             seed: 0x9A5A,
             threads: 1,
+            similarity: SimilarityConfig::default(),
         }
     }
 }
@@ -90,11 +98,45 @@ impl QuasarConfig {
             ..QuasarConfig::default()
         }
     }
+
+    /// Returns the configuration with out-of-range knobs clamped to safe
+    /// values. Manager construction funnels every config through this.
+    ///
+    /// `proactive_fraction` multiplies a running-set length and goes
+    /// through `ceil() as usize`, so a NaN or out-of-range value would
+    /// produce a bogus sample count: NaN and negatives become 0.0 (no
+    /// proactive sampling), anything above 1.0 becomes 1.0 (sample
+    /// everything).
+    pub fn validated(mut self) -> QuasarConfig {
+        self.proactive_fraction = if self.proactive_fraction.is_nan() {
+            0.0
+        } else {
+            self.proactive_fraction.clamp(0.0, 1.0)
+        };
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validated_clamps_proactive_fraction() {
+        let with = |f: f64| {
+            QuasarConfig {
+                proactive_fraction: f,
+                ..QuasarConfig::default()
+            }
+            .validated()
+        };
+        assert_eq!(with(f64::NAN).proactive_fraction, 0.0);
+        assert_eq!(with(-0.3).proactive_fraction, 0.0);
+        assert_eq!(with(7.5).proactive_fraction, 1.0);
+        assert_eq!(with(0.2).proactive_fraction, 0.2);
+        // Everything else passes through untouched.
+        assert_eq!(with(0.2), QuasarConfig::default());
+    }
 
     #[test]
     fn defaults_match_paper_constants() {

@@ -67,12 +67,7 @@ impl<'a> Estimator<'a> {
         let Some(so) = &self.class.scale_out_speed else {
             return if nodes <= 1 { 1.0 } else { 0.0 };
         };
-        let one = self
-            .axes
-            .scale_out
-            .iter()
-            .position(|&n| n == 1)
-            .expect("axis includes 1");
+        let one = self.axes.scale_out_or_nearest(1);
         let base = so[one].max(1e-12);
         let speed_at = |nodes: usize| -> f64 {
             // Piecewise-linear in node count across the axis columns.

@@ -261,15 +261,34 @@ mod tests {
         let k = h.kind(GoalKind::Qps);
         let m = k.scale_out.as_ref().unwrap();
         // More nodes should generally mean more capacity: compare the
-        // 1-node and 8-node columns (indices 0 and 5 in the axis).
-        let one = h.axes().scale_out.iter().position(|&n| n == 1).unwrap();
-        let eight = h.axes().scale_out.iter().position(|&n| n == 8).unwrap();
+        // 1-node and 8-node columns via the graceful lookup (falls back
+        // to the nearest column on axis sets missing those counts).
+        let one = h.axes().scale_out_or_nearest(1);
+        let eight = h.axes().scale_out_or_nearest(8);
         for row in 0..m.rows() {
             assert!(
                 m.get(row, eight) > m.get(row, one),
                 "8 nodes must beat 1 node for services"
             );
         }
+    }
+
+    #[test]
+    fn scale_out_lookup_survives_custom_axis_sets() {
+        // A history bootstrapped on the stock catalog, then consulted
+        // through a custom axis set without the 1/8-node counts: the
+        // graceful lookup returns the nearest columns instead of the
+        // old `.position().unwrap()` panic.
+        let h = history();
+        let mut axes = h.axes().clone();
+        axes.scale_out = vec![2, 4, 16];
+        assert_eq!(axes.scale_out_position(1), None);
+        assert_eq!(axes.scale_out_position(8), None);
+        let one = axes.scale_out_or_nearest(1);
+        let eight = axes.scale_out_or_nearest(8);
+        assert_eq!(axes.scale_out[one], 2);
+        // |8-4| = 4 beats |8-16| = 8, so the 4-node column wins.
+        assert_eq!(axes.scale_out[eight], 4);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::history::HistorySet;
 use crate::ordering::desirability;
 use crate::predict::LoadPredictor;
 use crate::profile::Profiler;
+use crate::similarity::SimilarityIndex;
 
 /// Counters describing what the manager did during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +114,10 @@ pub struct QuasarManager {
     last_proactive_s: f64,
     rng: StdRng,
     stats: Arc<Mutex<ManagerStats>>,
+    /// Workload-similarity index ([`crate::similarity`]); `None` unless
+    /// `config.similarity.enabled`, in which case repeat arrivals reuse
+    /// or warm-start a neighbor's classification.
+    similarity: Option<SimilarityIndex>,
 }
 
 impl QuasarManager {
@@ -124,8 +129,11 @@ impl QuasarManager {
         QuasarManager::with_history(history, config)
     }
 
-    /// Builds a manager over an existing offline history.
+    /// Builds a manager over an existing offline history. The config is
+    /// clamped via [`QuasarConfig::validated`]; every constructor
+    /// (`bootstrap`, `restore`) funnels through here.
     pub fn with_history(history: HistorySet, config: QuasarConfig) -> QuasarManager {
+        let config = config.validated();
         QuasarManager {
             profiler: Profiler::new(config.profiling_entries, config.seed ^ 0xF00D),
             classifier: Classifier::new().with_threads(config.threads),
@@ -137,6 +145,10 @@ impl QuasarManager {
             last_proactive_s: 0.0,
             rng: StdRng::seed_from_u64(config.seed ^ 0xCAFE),
             stats: Arc::new(Mutex::new(ManagerStats::default())),
+            similarity: config
+                .similarity
+                .enabled
+                .then(|| SimilarityIndex::new(config.similarity)),
             history,
             config,
         }
@@ -1079,7 +1091,17 @@ impl Manager for QuasarManager {
         // Profile and classify every submission with its dataset (§3.2).
         let axes = self.history.axes().clone();
         let data = self.profiler.profile(world, &axes, id);
-        let class = self.classifier.classify(&self.history, &data);
+        // With the similarity index enabled, repeat arrivals skip or
+        // warm-start reconstruction; disabled (the default), this is the
+        // plain classification path, bit for bit.
+        let class = match self.similarity.as_mut() {
+            Some(index) => {
+                let (class, _, _) =
+                    index.classify_or_insert(&self.classifier, &self.history, &data);
+                class
+            }
+            None => self.classifier.classify(&self.history, &data),
+        };
         self.stats_mut().classifications += 1;
         self.states.insert(
             id,

@@ -102,11 +102,9 @@ impl Profiler {
         // adds runs at small node counts (profiling is capped at 4 nodes
         // online, §3.2).
         if distributed {
-            let one = axes
-                .scale_out
-                .iter()
-                .position(|&n| n == 1)
-                .expect("axis includes 1 node");
+            // Nearest-column fallback keeps custom axis sets without a
+            // literal 1-node count from panicking here.
+            let one = axes.scale_out_or_nearest(1);
             let config = ProfileConfig::single(axes.ref_platform, axes.scale_out_probe);
             let r = world.profile_config(id, &config);
             data.scale_out.push((one, r.value));

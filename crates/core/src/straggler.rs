@@ -189,6 +189,26 @@ pub fn mean_detection_s(detections: &[Detection]) -> Option<f64> {
     }
 }
 
+/// Per-wave mean detection times plus the number of detection sets that
+/// were *skipped* because they were empty.
+///
+/// A wave can legitimately detect zero stragglers (none were injected,
+/// or the detector never fired before the wave finished). Such a set
+/// must degrade the aggregate, not abort it, so it is skipped and
+/// counted — the same contract as the adaptation experiment's
+/// overhead-fraction aggregation — instead of unwrapped.
+pub fn detection_means<'a>(sets: impl IntoIterator<Item = &'a [Detection]>) -> (Vec<f64>, usize) {
+    let mut means = Vec::new();
+    let mut skipped = 0usize;
+    for set in sets {
+        match mean_detection_s(set) {
+            Some(m) => means.push(m),
+            None => skipped += 1,
+        }
+    }
+    (means, skipped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,18 +235,24 @@ mod tests {
     #[test]
     fn quasar_detects_before_late_before_hadoop() {
         // Average over several waves, as the paper averages over jobs.
-        let mut quasar = 0.0;
-        let mut late = 0.0;
-        let mut hadoop = 0.0;
-        let mut n = 0.0;
+        // Aggregated with the skip-and-count helper: a wave where a
+        // detector finds nothing degrades the sample, never panics.
+        let mut q_sets = Vec::new();
+        let mut l_sets = Vec::new();
+        let mut h_sets = Vec::new();
         for seed in 0..10 {
             let w = TaskWave::generate(50, 5, 100.0, seed);
-            quasar += mean_detection_s(&detect_quasar(&w, 15.0)).unwrap();
-            late += mean_detection_s(&detect_late(&w)).unwrap();
-            hadoop += mean_detection_s(&detect_hadoop(&w)).unwrap();
-            n += 1.0;
+            q_sets.push(detect_quasar(&w, 15.0));
+            l_sets.push(detect_late(&w));
+            h_sets.push(detect_hadoop(&w));
         }
-        let (quasar, late, hadoop) = (quasar / n, late / n, hadoop / n);
+        let (q, q_skipped) = detection_means(q_sets.iter().map(Vec::as_slice));
+        let (l, l_skipped) = detection_means(l_sets.iter().map(Vec::as_slice));
+        let (h, h_skipped) = detection_means(h_sets.iter().map(Vec::as_slice));
+        // These waves all inject stragglers, so nothing is skipped here.
+        assert_eq!((q_skipped, l_skipped, h_skipped), (0, 0, 0));
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (quasar, late, hadoop) = (avg(&q), avg(&l), avg(&h));
         assert!(
             quasar < late && late < hadoop,
             "expected quasar < late < hadoop, got {quasar:.1} / {late:.1} / {hadoop:.1}"
@@ -254,5 +280,21 @@ mod tests {
     #[should_panic(expected = "more stragglers than tasks")]
     fn too_many_stragglers_panics() {
         TaskWave::generate(3, 4, 100.0, 1);
+    }
+
+    #[test]
+    fn no_straggler_wave_is_skipped_and_counted_not_unwrapped() {
+        // A healthy wave: every detector returns an empty set, and the
+        // aggregation reports it as skipped instead of panicking.
+        let w = TaskWave::generate(30, 0, 100.0, 3);
+        assert!(w.true_stragglers().is_empty());
+        let sets = [detect_quasar(&w, 15.0), detect_late(&w), detect_hadoop(&w)];
+        for set in &sets {
+            assert!(set.is_empty());
+            assert_eq!(mean_detection_s(set), None);
+        }
+        let (means, skipped) = detection_means(sets.iter().map(Vec::as_slice));
+        assert!(means.is_empty());
+        assert_eq!(skipped, 3);
     }
 }

@@ -1,15 +1,58 @@
 //! Property-based tests on the Quasar scheduler machinery.
 
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
 use quasar_core::estimate::PlannedNode;
 use quasar_core::greedy::CandidateServer;
-use quasar_core::{Axes, Classification, Estimator, GoalKind, GreedyScheduler};
+use quasar_core::{
+    Axes, Classification, Classifier, Estimator, GoalKind, GreedyScheduler, HistorySet,
+    ProfilingData, SimilarityConfig, SimilarityIndex, SimilarityOutcome,
+};
 use quasar_interference::PressureVector;
 use quasar_workloads::{NodeResources, PlatformCatalog, QosTarget};
 
 fn axes() -> Axes {
     Axes::for_catalog(&PlatformCatalog::local())
+}
+
+/// One small offline history shared across classification properties
+/// (bootstrap is by far the most expensive step).
+fn shared_history() -> &'static HistorySet {
+    static HISTORY: OnceLock<HistorySet> = OnceLock::new();
+    HISTORY.get_or_init(|| HistorySet::bootstrap(&PlatformCatalog::local(), 6, 42))
+}
+
+/// Builds a plausible profiling row from raw proptest draws: entry keys
+/// are folded onto real axis columns (deduplicated — one observation per
+/// column, like the profiler produces).
+fn fold_profile(
+    kind: GoalKind,
+    su: &[(usize, f64)],
+    he: &[(usize, f64)],
+    tol: &[(usize, f64)],
+) -> ProfilingData {
+    let axes = shared_history().axes();
+    let fold = |m: &[(usize, f64)], len: usize| -> Vec<(usize, f64)> {
+        let mut cols: BTreeMap<usize, f64> = BTreeMap::new();
+        for &(k, v) in m {
+            cols.insert(k % len, v);
+        }
+        cols.into_iter().collect()
+    };
+    ProfilingData {
+        kind,
+        scale_up: fold(su, axes.scale_up.len()),
+        scale_out: vec![],
+        hetero: fold(he, axes.platforms.len()),
+        params: vec![],
+        tolerated: fold(tol, axes.resources.len()),
+        caused: vec![],
+        wall_seconds: 1.0,
+        total_seconds: 1.0,
+    }
 }
 
 fn classification(axes: &Axes, kind: GoalKind, speeds: &[f64]) -> Classification {
@@ -126,5 +169,53 @@ proptest! {
         let speed = kind.to_speed(v);
         prop_assert!(speed > 0.0);
         prop_assert!((kind.from_speed(speed) - v).abs() / v < 1e-9);
+    }
+}
+
+proptest! {
+    // Each case runs full SVD+SGD classifications; keep the case count
+    // low so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The model-capturing path the similarity index misses through is
+    /// bit-identical to the plain cached classification on any profiling
+    /// row — the invariant that makes "index disabled" and "index miss"
+    /// indistinguishable from classification without the index.
+    #[test]
+    fn model_capture_is_bit_identical_to_plain_classification(
+        kind_idx in 0usize..3,
+        su in proptest::collection::vec((0usize..1000, 0.1..100.0f64), 1..3),
+        he in proptest::collection::vec((0usize..1000, 0.1..100.0f64), 1..3),
+        tol in proptest::collection::vec((0usize..1000, 1.0..99.0f64), 0..3),
+    ) {
+        let history = shared_history();
+        let data = fold_profile(GoalKind::ALL[kind_idx], &su, &he, &tol);
+        let classifier = Classifier::new();
+        let plain = classifier.classify(history, &data);
+        let (modeled, _, _) = classifier.classify_with_models(history, &data);
+        prop_assert_eq!(plain, modeled);
+    }
+
+    /// An exact-duplicate arrival hits the index and gets back exactly
+    /// what a full reconstruction of the same row would produce, with
+    /// runtime calibration reset to 1.0.
+    #[test]
+    fn exact_duplicate_hit_equals_full_reconstruction(
+        kind_idx in 0usize..3,
+        su in proptest::collection::vec((0usize..1000, 0.1..100.0f64), 1..3),
+        he in proptest::collection::vec((0usize..1000, 0.1..100.0f64), 1..3),
+    ) {
+        let history = shared_history();
+        let data = fold_profile(GoalKind::ALL[kind_idx], &su, &he, &[]);
+        let classifier = Classifier::new();
+        let mut index = SimilarityIndex::new(SimilarityConfig::exact_only());
+        let (first, _, o1) = index.classify_or_insert(&classifier, history, &data);
+        prop_assert_eq!(o1, SimilarityOutcome::Miss);
+        let (second, _, o2) = index.classify_or_insert(&classifier, history, &data);
+        prop_assert_eq!(o2, SimilarityOutcome::Hit);
+        prop_assert_eq!(&second, &first);
+        let full = classifier.classify(history, &data);
+        prop_assert_eq!(&second, &full);
+        prop_assert_eq!(second.runtime_calibration, 1.0);
     }
 }
