@@ -127,6 +127,23 @@ pub fn serialize_event(at_s: f64, event: &JournalEvent) -> String {
         JournalEvent::IsolationSet { workload, isolated } => {
             let _ = write!(line, " {} {}", workload.0, u8::from(*isolated));
         }
+        JournalEvent::QosEpisode {
+            workload,
+            cause,
+            start_s,
+            duration_s,
+            peak_depth,
+        } => {
+            let _ = write!(
+                line,
+                " {} {} {} {} {}",
+                workload.0,
+                cause.as_str(),
+                bits(*start_s),
+                bits(*duration_s),
+                bits(*peak_depth)
+            );
+        }
     }
     line
 }
@@ -187,6 +204,19 @@ pub fn parse_event(line: &str) -> io::Result<(f64, JournalEvent)> {
         "completed" => JournalEvent::Completed {
             workload: WorkloadId(parse_num(next("workload")?, "workload")?),
         },
+        "qos_episode" => {
+            let workload = WorkloadId(parse_num(next("workload")?, "workload")?);
+            let cause_tag = next("cause")?;
+            let cause = crate::qos::QosCause::parse(cause_tag)
+                .ok_or_else(|| bad(format!("unknown qos cause: {cause_tag:?}")))?;
+            JournalEvent::QosEpisode {
+                workload,
+                cause,
+                start_s: parse_bits(next("start")?)?,
+                duration_s: parse_bits(next("duration")?)?,
+                peak_depth: parse_bits(next("depth")?)?,
+            }
+        }
         other => return Err(bad(format!("unknown event kind: {other:?}"))),
     };
     Ok((at_s, event))
@@ -503,6 +533,16 @@ mod tests {
                     workload: WorkloadId(3),
                 },
             ),
+            (
+                8.0,
+                JournalEvent::QosEpisode {
+                    workload: WorkloadId(3),
+                    cause: crate::qos::QosCause::QueueWait,
+                    start_s: 2.5,
+                    duration_s: 4.5,
+                    peak_depth: 0.625,
+                },
+            ),
         ]
     }
 
@@ -523,7 +563,7 @@ mod tests {
             events: sample_events(),
         };
         let text = chunk.serialize();
-        assert!(text.starts_with("quasar.journal.chunk.v1 index=5 events=8 "));
+        assert!(text.starts_with("quasar.journal.chunk.v1 index=5 events=9 "));
         let parsed = SealedChunk::parse(&text).unwrap();
         assert_eq!(parsed, chunk);
     }
@@ -535,7 +575,7 @@ mod tests {
             events: sample_events(),
         };
         let mut text = chunk.serialize();
-        // Drop the last event line; the header still claims 8 events.
+        // Drop the last event line; the header still claims 9 events.
         text.truncate(text.trim_end().rfind('\n').unwrap() + 1);
         assert!(SealedChunk::parse(&text).is_err());
     }

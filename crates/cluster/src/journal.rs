@@ -25,13 +25,14 @@ use quasar_obs::registry::{Counter, Registry};
 use quasar_workloads::{NodeResources, WorkloadId};
 
 use crate::chunk::{self, ChunkProvider, SealedChunk};
+use crate::qos::QosCause;
 use crate::server::ServerId;
 
 /// Registry handles for the journal counters: one total plus one per
 /// event kind (`quasar.cluster.journal.<kind>`).
 struct JournalMetrics {
     total: Counter,
-    per_kind: [(&'static str, Counter); 8],
+    per_kind: [(&'static str, Counter); 9],
     chunk_flushes: Counter,
     chunk_events: Counter,
 }
@@ -52,6 +53,7 @@ fn journal_metrics() -> &'static JournalMetrics {
                 kind("params_set"),
                 kind("isolation_set"),
                 kind("completed"),
+                kind("qos_episode"),
             ],
             chunk_flushes: reg.counter("quasar.cluster.journal.chunk_flushes"),
             chunk_events: reg.counter("quasar.cluster.journal.chunk_events"),
@@ -122,6 +124,19 @@ pub enum JournalEvent {
         /// Workload that finished.
         workload: WorkloadId,
     },
+    /// A QoS violation episode closed (see [`crate::qos`]).
+    QosEpisode {
+        /// The violating workload.
+        workload: WorkloadId,
+        /// Attributed root cause.
+        cause: QosCause,
+        /// Sim-time of the first violating tick.
+        start_s: f64,
+        /// Episode duration in seconds.
+        duration_s: f64,
+        /// Deepest violation seen over the episode.
+        peak_depth: f64,
+    },
 }
 
 impl fmt::Display for JournalEvent {
@@ -175,6 +190,16 @@ impl fmt::Display for JournalEvent {
                 }
             }
             JournalEvent::Completed { workload } => write!(f, "{workload} completed"),
+            JournalEvent::QosEpisode {
+                workload,
+                cause,
+                start_s,
+                duration_s,
+                peak_depth,
+            } => write!(
+                f,
+                "{workload} qos episode [{cause}] from {start_s:.0}s for {duration_s:.0}s (peak depth {peak_depth:.2})"
+            ),
         }
     }
 }
@@ -192,6 +217,7 @@ impl JournalEvent {
             JournalEvent::ParamsSet { .. } => "params_set",
             JournalEvent::IsolationSet { .. } => "isolation_set",
             JournalEvent::Completed { .. } => "completed",
+            JournalEvent::QosEpisode { .. } => "qos_episode",
         }
     }
 
@@ -207,6 +233,7 @@ impl JournalEvent {
             JournalEvent::ParamsSet { .. } => "cluster.journal.params_set",
             JournalEvent::IsolationSet { .. } => "cluster.journal.isolation_set",
             JournalEvent::Completed { .. } => "cluster.journal.completed",
+            JournalEvent::QosEpisode { .. } => "cluster.journal.qos_episode",
         }
     }
 }
@@ -412,6 +439,7 @@ impl Journal {
                     | JournalEvent::ParamsSet { workload }
                     | JournalEvent::IsolationSet { workload, .. }
                     | JournalEvent::Completed { workload }
+                    | JournalEvent::QosEpisode { workload, .. }
                     if *workload == id
                 )
             })
@@ -540,6 +568,13 @@ mod tests {
             },
             JournalEvent::Completed {
                 workload: WorkloadId(1),
+            },
+            JournalEvent::QosEpisode {
+                workload: WorkloadId(1),
+                cause: QosCause::Interference,
+                start_s: 100.0,
+                duration_s: 60.0,
+                peak_depth: 0.4,
             },
         ];
         for e in events {

@@ -41,6 +41,7 @@ mod metrics;
 mod observe;
 mod placement;
 mod profile;
+pub mod qos;
 mod server;
 pub mod shard;
 mod sim;
@@ -56,6 +57,10 @@ pub use metrics::{HeatmapSample, MetricsRecorder, UtilizationSummary};
 pub use observe::Observation;
 pub use placement::{NodeAlloc, Placement};
 pub use profile::{ProfileConfig, ProfileResult};
+pub use qos::{
+    EpisodeRecord, FlightEntry, FlightRecorder, Incident, QosCause, QosEvidence, SloConfig,
+    SloTracker,
+};
 pub use server::{Server, ServerId};
 pub use shard::{Cell, CellReport, Seam};
 pub use sim::{PhaseChange, SimConfig, Simulation};

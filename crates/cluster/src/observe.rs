@@ -1,6 +1,18 @@
 //! Runtime observations handed to managers.
 
+use std::sync::OnceLock;
+
+use quasar_obs::registry::{Counter, Registry};
 use quasar_workloads::ServiceObservation;
+
+/// Counter for (observation, target) kind mismatches seen by
+/// [`Observation::on_track`]. A mismatch means the monitoring layer and
+/// the QoS target disagree about what kind of workload this is — a
+/// wiring bug, not a QoS violation.
+fn kind_mismatch_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| Registry::global().counter("quasar.cluster.observe.kind_mismatch"))
+}
 
 /// What the monitoring layer measured for a workload over the last tick —
 /// the only runtime signal managers receive (paper §3.1: "Quasar monitors
@@ -44,7 +56,18 @@ impl Observation {
             (Observation::Service(obs), t @ quasar_workloads::QosTarget::Throughput { .. }) => {
                 obs.meets(t)
             }
-            _ => false,
+            // Mismatched kinds are a monitoring-wiring bug, not a QoS
+            // violation: count them so the drift is visible in telemetry,
+            // trip loudly in debug builds, and conservatively score the
+            // tick off-track in release.
+            (obs, target) => {
+                kind_mismatch_counter().inc();
+                debug_assert!(
+                    false,
+                    "observation/target kind mismatch: {obs:?} vs {target:?}"
+                );
+                false
+            }
         }
     }
 
@@ -89,13 +112,22 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_kinds_are_off_track() {
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "observation/target kind mismatch")
+    )]
+    fn mismatched_kinds_trip_the_debug_assert_and_counter() {
         let obs = Observation::Batch {
             rate: 1.0,
             progress: 0.0,
             projected_total_s: 1.0,
             elapsed_s: 0.0,
         };
+        let before = kind_mismatch_counter().get();
+        // Debug builds panic on the assert above; release builds fall
+        // through to the conservative off-track score and bump the
+        // counter so the wiring bug is still visible.
         assert!(!obs.on_track(&QosTarget::throughput(1.0, 1.0), 0.05));
+        assert_eq!(kind_mismatch_counter().get(), before + 1);
     }
 }

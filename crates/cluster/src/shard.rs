@@ -176,6 +176,12 @@ impl Cell {
         &self.world
     }
 
+    /// Mutable world access, for drivers that finalize a run (close open
+    /// QoS episodes, seal journal chunks) after the last round.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
     /// Jobs queued in the inbox, not yet admitted.
     pub fn inbox_depth(&self) -> usize {
         self.inbox.len()

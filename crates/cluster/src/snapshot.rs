@@ -172,6 +172,28 @@ pub fn snapshot(sim: &mut Simulation) -> io::Result<String> {
         }
         out.push('\n');
     }
+
+    // Open QoS violation episodes: without them, a resumed run would
+    // close episodes with different ticks/evidence than the
+    // uninterrupted run and the journal streams would diverge. The
+    // closed ledger is not stored — it is reconstructable from the
+    // chunk stream's `qos_episode` events.
+    let qos_open = world.qos().export_open();
+    let _ = writeln!(out, "qos {}", qos_open.len());
+    for (id, ep) in &qos_open {
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} {} {} {}",
+            id.0,
+            bits(ep.start_s),
+            ep.ticks,
+            bits(ep.peak_depth),
+            bits(ep.interference_sum),
+            bits(ep.rate_dev_sum),
+            bits(ep.util_sum),
+            bits(ep.queue_wait_s),
+        );
+    }
     out.push_str("end\n");
     Ok(out)
 }
@@ -391,6 +413,35 @@ pub fn resume(
         placement.isolated = isolated;
         placements.push(placement);
     }
+
+    let n_qos: usize = parse_num(&one(keyed(&mut lines, "qos")?, "qos")?, "qos count")?;
+    let mut qos_open = Vec::with_capacity(n_qos);
+    for _ in 0..n_qos {
+        let line = next_line(&mut lines, "qos episode")?;
+        let mut f = line.split(' ');
+        let mut take = |what: &str| f.next().ok_or_else(|| bad(format!("missing {what}")));
+        let id = WorkloadId(parse_num(take("qos workload")?, "qos workload")?);
+        let start_s = parse_bits(take("qos start")?)?;
+        let ticks: u64 = parse_num(take("qos ticks")?, "qos ticks")?;
+        let peak_depth = parse_bits(take("qos peak")?)?;
+        let interference_sum = parse_bits(take("qos interference")?)?;
+        let rate_dev_sum = parse_bits(take("qos rate dev")?)?;
+        let util_sum = parse_bits(take("qos util")?)?;
+        let queue_wait_s = parse_bits(take("qos queue wait")?)?;
+        qos_open.push((
+            id,
+            crate::qos::OpenEpisodeState {
+                start_s,
+                ticks,
+                peak_depth,
+                interference_sum,
+                rate_dev_sum,
+                util_sum,
+                queue_wait_s,
+            },
+        ));
+    }
+
     if next_line(&mut lines, "end")? != "end" {
         return Err(bad("snapshot missing end marker".into()));
     }
@@ -409,6 +460,9 @@ pub fn resume(
             world
                 .restore_placement(placement)
                 .map_err(|e| bad(format!("placement restore failed: {e:?}")))?;
+        }
+        for (id, episode) in qos_open {
+            world.qos_mut().restore_open(id, episode);
         }
         let journal = world.journal_mut();
         if let Some((chunk_cap, store)) = provider {

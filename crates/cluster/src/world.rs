@@ -19,6 +19,9 @@ use crate::metrics::{HeatmapSample, MetricsRecorder};
 use crate::observe::Observation;
 use crate::placement::{NodeAlloc, Placement};
 use crate::profile::{ProfileConfig, ProfileResult};
+use crate::qos::{
+    self, EpisodeRecord, FlightRecorder, Incident, QosEvidence, SloConfig, SloTracker,
+};
 use crate::server::{Server, ServerId};
 
 /// How much of its neighbours' (and its own outgoing) pressure a
@@ -29,6 +32,16 @@ const ISOLATION_PRESSURE_FACTOR: f64 = 0.5;
 /// Capacity retained under partitioning (reserved ways/slices are not
 /// free).
 const ISOLATION_OVERHEAD_FACTOR: f64 = 0.93;
+
+/// Events retained in the per-world flight recorder ring. Sized so an
+/// incident window (a few minutes of decisions) is always covered
+/// without retaining the full journal.
+const FLIGHT_RECORDER_CAPACITY: usize = 512;
+
+/// Flight-recorder margin around an episode, in ticks: the incident
+/// carries the events shortly before the violation opened and shortly
+/// after it closed.
+const INCIDENT_MARGIN_TICKS: f64 = 2.0;
 
 /// Registry handles for the simulator counters
 /// (`quasar.cluster.world.*`).
@@ -311,6 +324,14 @@ pub struct World {
     completion_digest: u64,
     /// Entries dropped under [`Retention::DropCompleted`].
     retired: u64,
+    /// The QoS violation ledger: per-workload episodes with cause
+    /// attribution, fed one observation per tick.
+    qos: SloTracker,
+    /// Bounded ring of recent journal events; incident dumps replay the
+    /// ±window of decisions around a severe episode from here.
+    recorder: FlightRecorder,
+    /// Incident reports dumped so far (severe closed episodes).
+    incidents: Vec<Incident>,
 }
 
 impl World {
@@ -336,6 +357,9 @@ impl World {
             retention: Retention::KeepAll,
             completion_digest: FNV_OFFSET,
             retired: 0,
+            qos: SloTracker::new(SloConfig::default(), tick_s),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            incidents: Vec::new(),
         }
     }
 
@@ -495,7 +519,7 @@ impl World {
             .max(0.0);
         self.cluster.place(Placement::new(id, nodes, params))?;
         let now = self.now;
-        self.journal.record(
+        self.record_event(
             now,
             JournalEvent::Placed {
                 workload: id,
@@ -517,7 +541,7 @@ impl World {
     /// best-effort jobs are treated, §5); otherwise it is killed.
     pub fn evict(&mut self, id: WorkloadId, requeue: bool) {
         self.cluster.release(id);
-        self.journal.record(
+        self.record_event(
             self.now,
             JournalEvent::Evicted {
                 workload: id,
@@ -537,6 +561,12 @@ impl World {
                 self.pending.insert(id);
             }
         }
+        // Eviction ends any open violation episode: the observations that
+        // fed it stop, and whatever happens after re-placement is a new
+        // story.
+        if let Some(episode) = self.qos.terminate(id, self.now) {
+            self.finish_episode(episode);
+        }
     }
 
     /// Adds a node to a running workload's placement.
@@ -546,7 +576,7 @@ impl World {
     /// See [`ClusterState::add_node`].
     pub fn add_node(&mut self, id: WorkloadId, node: NodeAlloc) -> Result<(), PlaceError> {
         self.cluster.add_node(id, node)?;
-        self.journal.record(
+        self.record_event(
             self.now,
             JournalEvent::NodeAdded {
                 workload: id,
@@ -564,7 +594,7 @@ impl World {
     /// See [`ClusterState::remove_node`].
     pub fn remove_node(&mut self, id: WorkloadId, server: ServerId) -> Result<(), PlaceError> {
         self.cluster.remove_node(id, server)?;
-        self.journal.record(
+        self.record_event(
             self.now,
             JournalEvent::NodeRemoved {
                 workload: id,
@@ -586,7 +616,7 @@ impl World {
         resources: NodeResources,
     ) -> Result<(), PlaceError> {
         self.cluster.resize_node(id, server, resources)?;
-        self.journal.record(
+        self.record_event(
             self.now,
             JournalEvent::NodeResized {
                 workload: id,
@@ -608,8 +638,7 @@ impl World {
         params: FrameworkParams,
     ) -> Result<(), PlaceError> {
         self.cluster.set_params(id, params)?;
-        self.journal
-            .record(self.now, JournalEvent::ParamsSet { workload: id });
+        self.record_event(self.now, JournalEvent::ParamsSet { workload: id });
         Ok(())
     }
 
@@ -622,7 +651,7 @@ impl World {
     /// Fails if the workload has no placement.
     pub fn set_isolation(&mut self, id: WorkloadId, isolated: bool) -> Result<(), PlaceError> {
         self.cluster.set_isolation(id, isolated)?;
-        self.journal.record(
+        self.record_event(
             self.now,
             JournalEvent::IsolationSet {
                 workload: id,
@@ -826,6 +855,142 @@ impl World {
         &mut self.journal
     }
 
+    /// Journals an event and mirrors it into the flight recorder ring,
+    /// so incident dumps can replay the ±window of decisions around an
+    /// episode without retaining the full journal.
+    fn record_event(&mut self, at_s: f64, event: JournalEvent) {
+        self.recorder.push(at_s, event.kind(), event.to_string());
+        self.journal.record(at_s, event);
+    }
+
+    /// The QoS violation ledger: closed episodes with cause attribution,
+    /// open episodes, and the per-workload violation-depth series.
+    pub fn qos(&self) -> &SloTracker {
+        &self.qos
+    }
+
+    /// Replaces the SLO tracker's attribution thresholds. Call before a
+    /// run starts: the ledger restarts empty.
+    pub fn set_slo_config(&mut self, config: SloConfig) {
+        self.qos = SloTracker::new(config, self.tick_s);
+    }
+
+    /// Incident reports dumped so far (severe closed episodes), in close
+    /// order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Takes ownership of the accumulated incident reports, leaving the
+    /// buffer empty.
+    pub fn take_incidents(&mut self) -> Vec<Incident> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// The flight recorder ring feeding incident dumps.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Closes every open violation episode at the current instant (end
+    /// of run), journaling each like a live closure. Returns how many
+    /// episodes were closed.
+    pub fn finish_qos(&mut self) -> usize {
+        let closed = self.qos.close_all(self.now);
+        let n = closed.len();
+        for episode in closed {
+            self.finish_episode(episode);
+        }
+        n
+    }
+
+    /// Journals a closed episode and, when its peak depth crosses the
+    /// severity threshold, dumps an incident report carrying the
+    /// flight-recorder window and the placement snapshot at close time.
+    fn finish_episode(&mut self, episode: EpisodeRecord) {
+        self.record_event(
+            self.now,
+            JournalEvent::QosEpisode {
+                workload: episode.workload,
+                cause: episode.cause,
+                start_s: episode.start_s,
+                duration_s: episode.duration_s(),
+                peak_depth: episode.peak_depth,
+            },
+        );
+        if self.qos.is_incident(&episode) {
+            qos::count_incident();
+            let margin = INCIDENT_MARGIN_TICKS * self.tick_s;
+            let events = self.recorder.window(episode.start_s, episode.end_s, margin);
+            let placements = self
+                .snapshot_placements()
+                .iter()
+                .map(|p| {
+                    (
+                        p.workload,
+                        p.nodes
+                            .iter()
+                            .map(|n| (n.server.0, n.resources.cores))
+                            .collect(),
+                    )
+                })
+                .collect();
+            self.incidents.push(Incident {
+                episode,
+                events,
+                placements,
+            });
+        }
+    }
+
+    /// Feeds this tick's observations into the SLO tracker. Best-effort
+    /// workloads are exempt (they have no QoS contract to violate); jobs
+    /// without a fresh observation contribute nothing.
+    fn track_qos(&mut self, running: &[WorkloadId]) {
+        let total_cores = self.cluster.total_cores();
+        let utilization = if total_cores > 0 {
+            self.cluster.used_cores() as f64 / total_cores as f64
+        } else {
+            0.0
+        };
+        for &id in running {
+            let entry = &self.entries[&id];
+            if entry.workload.spec().is_best_effort() {
+                continue;
+            }
+            let obs = match entry.last_obs {
+                Some(obs) => obs,
+                None => continue,
+            };
+            let target = entry.workload.spec().target;
+            let queue_wait_s = entry.placed_s.unwrap_or(self.now) - entry.submitted_s;
+            let rate_deviation = (entry.rate_factor - 1.0).abs();
+            let mut pressure = 0.0;
+            let mut nodes = 0u32;
+            if let Some(placement) = self.cluster.placement(id) {
+                for node in placement.active_nodes(self.now) {
+                    pressure += QosEvidence::normalize_pressure(
+                        &self.server_pressure(node.server, Some(id)),
+                    );
+                    nodes += 1;
+                }
+            }
+            let evidence = QosEvidence {
+                interference: if nodes > 0 {
+                    pressure / nodes as f64
+                } else {
+                    0.0
+                },
+                queue_wait_s,
+                rate_deviation,
+                utilization,
+            };
+            if let Some(episode) = self.qos.observe(self.now, id, &obs, &target, evidence) {
+                self.finish_episode(episode);
+            }
+        }
+    }
+
     /// Sets the retention policy for finished entries. Under
     /// [`Retention::DropCompleted`] per-job [`completions`](World::completions)
     /// records are unavailable for retired jobs; the
@@ -909,6 +1074,13 @@ impl World {
         let mut out: Vec<_> = self.cluster.placements().collect();
         out.sort_by_key(|p| p.workload);
         out
+    }
+
+    /// Mutable tracker access for snapshot restore (open episodes must
+    /// survive a snapshot/resume boundary so the journal stream stays
+    /// bit-exact).
+    pub(crate) fn qos_mut(&mut self) -> &mut SloTracker {
+        &mut self.qos
     }
 
     pub(crate) fn restore_clock(&mut self, now: f64) {
@@ -1110,7 +1282,7 @@ impl World {
         let running: Vec<WorkloadId> = self.running.iter().copied().collect();
         let mut completed = Vec::new();
 
-        for id in running {
+        for &id in &running {
             let owned_allocs = self.physics_allocs(id);
             let iso = self.isolation_factor(id);
             let allocs: Vec<(&Platform, NodeResources, PressureVector)> =
@@ -1195,11 +1367,21 @@ impl World {
             }
         }
 
+        // Feed this tick's observations to the SLO tracker before the
+        // completion sweep, so a job that finishes while violating gets
+        // its final violating tick accounted.
+        self.track_qos(&running);
+
         for id in completed.iter() {
             self.running.remove(id);
             self.cluster.release(*id);
-            self.journal
-                .record(self.now, JournalEvent::Completed { workload: *id });
+            // Completion is terminal for any open episode; close it
+            // before the `completed` event so the episode's journal entry
+            // precedes the completion it explains.
+            if let Some(episode) = self.qos.terminate(*id, self.now) {
+                self.finish_episode(episode);
+            }
+            self.record_event(self.now, JournalEvent::Completed { workload: *id });
             self.fold_completion(*id);
         }
 

@@ -1,0 +1,114 @@
+//! Property tests on the QoS violation ledger: for any interleaving of
+//! violating and on-track ticks across workloads, the closed episodes
+//! of a workload never overlap, and together they cover every violating
+//! tick exactly once.
+
+use proptest::prelude::*;
+
+use quasar_cluster::{Observation, QosEvidence, SloConfig, SloTracker};
+use quasar_workloads::{QosTarget, WorkloadId};
+
+const TICK_S: f64 = 10.0;
+
+/// Feeds `patterns[w][i]` (true = violating) for workload `w` at tick
+/// `i` and returns the full closed ledger.
+fn drive(patterns: &[Vec<bool>]) -> Vec<quasar_cluster::EpisodeRecord> {
+    let mut tracker = SloTracker::new(SloConfig::default(), TICK_S);
+    let target = QosTarget::ips(100.0);
+    let ticks = patterns.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..ticks {
+        let now = (i + 1) as f64 * TICK_S;
+        for (w, pattern) in patterns.iter().enumerate() {
+            let Some(&violating) = pattern.get(i) else {
+                continue;
+            };
+            // An IPS target is a floor: rate below 100 violates it.
+            let obs = Observation::Batch {
+                rate: if violating { 50.0 } else { 150.0 },
+                progress: 0.5,
+                projected_total_s: 100.0,
+                elapsed_s: now,
+            };
+            tracker.observe(
+                now,
+                WorkloadId(w as u64),
+                &obs,
+                &target,
+                QosEvidence::default(),
+            );
+        }
+    }
+    tracker.close_all((ticks + 1) as f64 * TICK_S);
+    tracker.episodes().to_vec()
+}
+
+proptest! {
+    #[test]
+    fn episodes_never_overlap_and_cover_every_violating_tick(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..60),
+            1..4,
+        )
+    ) {
+        let episodes = drive(&patterns);
+
+        for (w, pattern) in patterns.iter().enumerate() {
+            let id = WorkloadId(w as u64);
+            let mut mine: Vec<_> = episodes.iter().filter(|e| e.workload == id).collect();
+            mine.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+
+            // No overlap: each episode ends before the next one starts.
+            for pair in mine.windows(2) {
+                prop_assert!(
+                    pair[0].end_s <= pair[1].start_s,
+                    "workload {w}: episode [{}, {}] overlaps [{}, {}]",
+                    pair[0].start_s, pair[0].end_s, pair[1].start_s, pair[1].end_s,
+                );
+            }
+            for e in &mine {
+                prop_assert!(e.start_s < e.end_s, "empty interval [{}, {}]", e.start_s, e.end_s);
+            }
+
+            // Coverage: every violating tick falls inside exactly one
+            // episode's [start, end), and the ledger charges exactly one
+            // tick of an episode for it.
+            let violating: Vec<f64> = pattern
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v)
+                .map(|(i, _)| (i + 1) as f64 * TICK_S)
+                .collect();
+            for &t in &violating {
+                let containing = mine
+                    .iter()
+                    .filter(|e| e.start_s <= t && t < e.end_s)
+                    .count();
+                prop_assert_eq!(
+                    containing, 1,
+                    "workload {}: violating tick at {}s is in {} episodes",
+                    w, t, containing
+                );
+            }
+            let charged: u64 = mine.iter().map(|e| e.ticks).sum();
+            prop_assert_eq!(
+                charged,
+                violating.len() as u64,
+                "workload {}: ledger charges {} ticks for {} violating observations",
+                w, charged, violating.len()
+            );
+        }
+    }
+
+    #[test]
+    fn episode_count_matches_violation_runs(pattern in proptest::collection::vec(any::<bool>(), 0..80)) {
+        // The number of closed episodes equals the number of maximal
+        // runs of consecutive violating ticks.
+        let episodes = drive(std::slice::from_ref(&pattern));
+        let runs = pattern
+            .iter()
+            .zip(std::iter::once(&false).chain(pattern.iter()))
+            .filter(|&(&cur, &prev)| cur && !prev)
+            .count();
+        prop_assert_eq!(episodes.len(), runs);
+    }
+}

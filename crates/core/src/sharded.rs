@@ -348,6 +348,16 @@ pub struct ShardedOutcome {
     /// On an uncontended cluster this is invariant across shard counts —
     /// the determinism smoke compares it between 1 and 4 shards.
     pub digest: u64,
+    /// QoS violation episodes closed across all cells (open episodes are
+    /// closed when the sweep drains).
+    pub qos_episodes: u64,
+    /// Severe episodes dumped as incident reports across all cells.
+    pub qos_incidents: u64,
+    /// FNV-1a digest over the globally-sorted episode ledger (workload,
+    /// start, end, cause, ticks, peak depth). Invariant across thread
+    /// counts; shard count changes colocation, so it is compared only
+    /// between runs with the same shard count.
+    pub qos_digest: u64,
 }
 
 /// Runs a batched admission sweep of `jobs` over `spec` carved into
@@ -419,6 +429,45 @@ pub fn run_sharded(
         (d + s.decisions, p + s.placed)
     });
 
+    // Close still-open QoS episodes (the sweep is over) and fold the
+    // cross-cell episode ledger into a globally-sorted digest, so the
+    // value is independent of how jobs were distributed across threads.
+    let mut qos_incidents = 0u64;
+    let mut episodes: Vec<(u64, u64, u64, &'static str, u64, u64)> = Vec::new();
+    for cell in &mut cells {
+        cell.world_mut().finish_qos();
+        qos_incidents += cell.world().incidents().len() as u64;
+        episodes.extend(cell.world().qos().episodes().iter().map(|e| {
+            (
+                e.workload.0,
+                e.start_s.to_bits(),
+                e.end_s.to_bits(),
+                e.cause.as_str(),
+                e.ticks,
+                e.peak_depth.to_bits(),
+            )
+        }));
+    }
+    episodes.sort_unstable();
+    let qos_episodes = episodes.len() as u64;
+    let mut qos_digest: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fold = |word: u64| {
+        for byte in word.to_le_bytes() {
+            qos_digest ^= u64::from(byte);
+            qos_digest = qos_digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (workload, start, end, cause, ticks, peak) in &episodes {
+        fold(*workload);
+        fold(*start);
+        fold(*end);
+        for byte in cause.bytes() {
+            fold(u64::from(byte));
+        }
+        fold(*ticks);
+        fold(*peak);
+    }
+
     // Globally-sorted placement digest, so the value is independent of
     // how jobs were distributed across cells.
     let mut placements: Vec<(WorkloadId, bool)> = cells.iter().flat_map(Cell::placements).collect();
@@ -440,6 +489,9 @@ pub fn run_sharded(
         max_queue_depth,
         rebalanced,
         digest,
+        qos_episodes,
+        qos_incidents,
+        qos_digest,
     }
 }
 

@@ -17,6 +17,7 @@ use quasar_workloads::{Dataset, PlatformCatalog, Priority, WorkloadClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::qos_report::QosLedger;
 use crate::report::{mean, TextTable};
 use crate::{local_history, Scale};
 
@@ -41,6 +42,11 @@ pub struct AdaptationResult {
     /// Mean job completion with live mitigation by each policy:
     /// (unmitigated, Hadoop speculative, LATE, Quasar), in seconds.
     pub mitigation_means: (f64, f64, f64, f64),
+    /// QoS violation episodes the ledger attributed during the
+    /// phase-detection run.
+    pub qos_episodes: usize,
+    /// Dominant attributed cause of those episodes (`-` when none).
+    pub qos_top_cause: String,
 }
 
 /// Runs all three §4 validations serially (equivalent to
@@ -179,6 +185,11 @@ pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
     // --- Live straggler mitigation over wave-based task execution. ---
     let mitigation_means = mitigation_comparison(waves, threads);
 
+    // --- QoS ledger of the phase run: the injected phase changes show
+    // up as attributed violation episodes (straggler / drift /
+    // interference), closing the loop between adaptation and ledger. ---
+    let ledger = QosLedger::harvest("quasar", &mut sim);
+
     // --- Overheads: profiling share of execution from the phase run. ---
     let (overheads, _unfinished) = overhead_fractions(&sim.world().completions());
     let overhead_fraction = if overheads.is_empty() {
@@ -197,6 +208,8 @@ pub fn run_with(scale: Scale, threads: usize) -> AdaptationResult {
         earlier_than_late_pct: (ml - mq) / ml * 100.0,
         overhead_fraction,
         mitigation_means,
+        qos_episodes: ledger.episodes.len(),
+        qos_top_cause: ledger.top_cause(|_| true).to_string(),
     }
 }
 
@@ -380,6 +393,11 @@ impl fmt::Display for AdaptationResult {
             "manager overhead / execution".to_string(),
             format!("{:.1}%", self.overhead_fraction * 100.0),
             "4.1% avg, <=9% short jobs".to_string(),
+        ]);
+        t.row([
+            "qos episodes (phase run)".to_string(),
+            format!("{} (top cause {})", self.qos_episodes, self.qos_top_cause),
+            "injected changes => attributed episodes".to_string(),
         ]);
         write!(f, "{}", t.render())
     }

@@ -218,6 +218,7 @@ impl fmt::Display for Fig12Result {
             "rounds",
             "max queue",
             "rebalanced",
+            "qos eps",
             "digest",
             "wall (s)",
             "decisions/s",
@@ -231,6 +232,7 @@ impl fmt::Display for Fig12Result {
                 s.outcome.rounds.to_string(),
                 s.outcome.max_queue_depth.to_string(),
                 s.outcome.rebalanced.to_string(),
+                s.outcome.qos_episodes.to_string(),
                 format!("{:016x}", s.outcome.digest),
                 live(format!("{:.2}", s.wall_us / 1e6)),
                 live(format!("{:.0}", s.decisions_per_sec())),

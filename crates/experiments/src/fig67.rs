@@ -13,6 +13,7 @@ use quasar_core::{QuasarConfig, QuasarManager};
 use quasar_workloads::generate::Generator;
 use quasar_workloads::{PlatformCatalog, QosTarget, WorkloadClass, WorkloadId};
 
+use crate::qos_report::QosLedger;
 use crate::report::{mean, write_csv, TextTable};
 use crate::{local_history, Scale};
 
@@ -29,6 +30,10 @@ pub struct MixJob {
     pub baseline_s: f64,
     /// Execution under Quasar.
     pub quasar_s: f64,
+    /// QoS violation episodes charged to this job under the baseline.
+    pub baseline_episodes: usize,
+    /// QoS violation episodes charged to this job under Quasar.
+    pub quasar_episodes: usize,
 }
 
 impl MixJob {
@@ -51,6 +56,8 @@ pub struct MixRun {
     pub busy_utilization: f64,
     /// Mean profiling overhead fraction across guaranteed jobs.
     pub overhead_fraction: f64,
+    /// QoS violation ledger of the run.
+    pub qos: QosLedger,
 }
 
 /// The combined Fig. 6 + Fig. 7 dataset.
@@ -139,6 +146,8 @@ fn run_mix(scale: Scale, manager: Box<dyn quasar_cluster::Manager>, manager_name
         }
     }
 
+    let qos = QosLedger::harvest(manager_name, &mut sim);
+
     let mut executions = HashMap::new();
     let mut overheads = Vec::new();
     let mut busy_until = 0.0_f64;
@@ -175,6 +184,7 @@ fn run_mix(scale: Scale, manager: Box<dyn quasar_cluster::Manager>, manager_name
         samples,
         busy_utilization: mean(&busy),
         overhead_fraction: mean(&overheads),
+        qos,
     }
 }
 
@@ -234,6 +244,8 @@ pub fn run_with(scale: Scale, threads: usize) -> Fig67Result {
                 target_s: seconds,
                 baseline_s: *baseline.executions.get(&w.id())?,
                 quasar_s: *quasar.executions.get(&w.id())?,
+                baseline_episodes: baseline.qos.episodes_for(w.id()),
+                quasar_episodes: quasar.qos.episodes_for(w.id()),
             })
         })
         .collect();
@@ -248,13 +260,23 @@ pub fn run_with(scale: Scale, threads: usize) -> Fig67Result {
                 j.baseline_s,
                 j.quasar_s,
                 j.speedup_pct(),
+                j.baseline_episodes as f64,
+                j.quasar_episodes as f64,
             ]
         })
         .collect();
     write_csv(
         "fig6",
         "speedups",
-        &["job", "target_s", "baseline_s", "quasar_s", "speedup_pct"],
+        &[
+            "job",
+            "target_s",
+            "baseline_s",
+            "quasar_s",
+            "speedup_pct",
+            "baseline_episodes",
+            "quasar_episodes",
+        ],
         &rows,
     );
 
@@ -276,6 +298,8 @@ impl fmt::Display for Fig67Result {
                     "baseline s",
                     "quasar s",
                     "speedup %",
+                    "baseline eps",
+                    "quasar eps",
                 ]);
         for j in &self.jobs {
             t.row([
@@ -285,6 +309,8 @@ impl fmt::Display for Fig67Result {
                 format!("{:.0}", j.baseline_s),
                 format!("{:.0}", j.quasar_s),
                 format!("{:.1}", j.speedup_pct()),
+                j.baseline_episodes.to_string(),
+                j.quasar_episodes.to_string(),
             ]);
         }
         write!(f, "{}", t.render())?;
@@ -293,6 +319,14 @@ impl fmt::Display for Fig67Result {
             f,
             "manager overhead (profiling/exec): quasar {:.1}%",
             self.quasar.overhead_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "qos episodes: quasar {} (top cause {}) / baseline {} (top cause {})",
+            self.quasar.qos.episodes.len(),
+            self.quasar.qos.top_cause(|_| true),
+            self.baseline.qos.episodes.len(),
+            self.baseline.qos.top_cause(|_| true),
         )?;
         write!(f, "{}", self.utilization_report())
     }

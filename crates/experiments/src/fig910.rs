@@ -8,6 +8,7 @@ use std::fmt;
 use quasar_baselines::{AllocationPolicy, AssignmentPolicy, BaselineManager};
 use quasar_cluster::{ClusterSpec, Observation, SimConfig, Simulation};
 
+use crate::qos_report::QosLedger;
 use crate::report::percentile;
 use quasar_core::par::par_map;
 use quasar_core::{QuasarConfig, QuasarManager};
@@ -33,6 +34,10 @@ pub struct StatefulOutcome {
     /// Sampled p99 latencies (µs) across measurement windows — the
     /// query-latency distribution of Fig. 9's right panels.
     pub p99_samples_us: Vec<f64>,
+    /// QoS violation episodes charged to this service over the day.
+    pub qos_episodes: usize,
+    /// Dominant attributed cause of those episodes (`-` when none).
+    pub qos_top_cause: String,
 }
 
 /// A Fig. 10 window: per-server mean utilizations over 6 hours.
@@ -55,6 +60,8 @@ pub struct Fig910Result {
     pub outcomes: Vec<StatefulOutcome>,
     /// Fig. 10 windows from the Quasar run.
     pub usage_windows: Vec<UsageWindow>,
+    /// QoS violation ledgers, one per manager run (autoscale, quasar).
+    pub qos: Vec<QosLedger>,
 }
 
 impl Fig910Result {
@@ -69,6 +76,7 @@ impl Fig910Result {
 struct RunOutput {
     outcomes: Vec<StatefulOutcome>,
     windows: Vec<UsageWindow>,
+    qos: QosLedger,
 }
 
 fn run_day(scale: Scale, quasar: bool) -> RunOutput {
@@ -163,6 +171,8 @@ fn run_day(scale: Scale, quasar: bool) -> RunOutput {
         }
     }
 
+    let qos = QosLedger::harvest(manager_name, &mut sim);
+
     let records = sim.world().qos_records();
     let outcomes = ids
         .iter()
@@ -179,6 +189,8 @@ fn run_day(scale: Scale, quasar: bool) -> RunOutput {
                 qos_fraction: record.qos_fraction(),
                 served_fraction: record.served_fraction(),
                 p99_samples_us: p99s[i].clone(),
+                qos_episodes: qos.episodes_for(*id),
+                qos_top_cause: qos.top_cause(|e| e.workload == *id).to_string(),
             }
         })
         .collect();
@@ -216,7 +228,11 @@ fn run_day(scale: Scale, quasar: bool) -> RunOutput {
         });
     }
 
-    RunOutput { outcomes, windows }
+    RunOutput {
+        outcomes,
+        windows,
+        qos,
+    }
 }
 
 /// Runs the 24-hour scenario under both managers serially (equivalent
@@ -257,6 +273,7 @@ pub fn run_with(scale: Scale, threads: usize) -> Fig910Result {
     Fig910Result {
         outcomes,
         usage_windows: quasar.windows,
+        qos: vec![autoscale.qos, quasar.qos],
     }
 }
 
@@ -269,6 +286,8 @@ impl fmt::Display for Fig910Result {
             "queries meeting QoS %",
             "p99 median us",
             "p99 worst us",
+            "qos episodes",
+            "top cause",
         ]);
         for o in &self.outcomes {
             t.row([
@@ -278,6 +297,8 @@ impl fmt::Display for Fig910Result {
                 format!("{:.1}", o.qos_fraction * 100.0),
                 format!("{:.0}", percentile(&o.p99_samples_us, 0.5)),
                 format!("{:.0}", percentile(&o.p99_samples_us, 0.99)),
+                o.qos_episodes.to_string(),
+                o.qos_top_cause.clone(),
             ]);
         }
         write!(f, "{}", t.render())?;

@@ -28,6 +28,7 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod fig910;
+pub mod qos_report;
 pub mod report;
 pub mod table2;
 pub mod validate;

@@ -11,6 +11,7 @@
 //! quasar-experiments bench-sim --jobs N [--halt-at-s T --snapshot-out PATH]
 //!                    [--chunk-dir PATH]
 //! quasar-experiments bench-sim --resume PATH [--chunk-dir PATH]
+//! quasar-experiments qos-report <fig> [--full] [--threads N]
 //! ```
 //!
 //! `--threads N` sets the worker count for experiments that fan out
@@ -41,6 +42,13 @@
 //! thread counts and across a halt/resume boundary (the simulator core
 //! is serial; `--threads` is accepted and ignored for this mode).
 //!
+//! `qos-report <fig>` reruns one figure's scenario (fig6/fig7/fig9/
+//! fig10) with the QoS violation ledger enabled and prints the
+//! per-cause episode breakdown for every manager run, writing the
+//! breakdown CSV and the `quasar.qos.incident.v1` incident JSONL under
+//! `target/experiment-results/qos/`. The table is byte-identical across
+//! `--threads` values and `QUASAR_SHARDS` settings.
+//!
 //! `trace <id>` runs one experiment with span collection enabled and
 //! exports the telemetry: a Chrome `trace_event` JSON (load it in
 //! Perfetto or `chrome://tracing`) to `--trace-out PATH`, a JSONL
@@ -65,7 +73,8 @@ fn usage() -> ! {
          \x20      quasar-experiments bench-sim [--full] [--json] [--out PATH]\n\
          \x20      quasar-experiments bench-sim --jobs N [--halt-at-s T \
          --snapshot-out PATH] [--chunk-dir PATH]\n\
-         \x20      quasar-experiments bench-sim --resume PATH [--chunk-dir PATH]"
+         \x20      quasar-experiments bench-sim --resume PATH [--chunk-dir PATH]\n\
+         \x20      quasar-experiments qos-report <fig> [--full] [--threads N]"
     );
     eprintln!("ids: all {}", EXPERIMENT_IDS.join(" "));
     std::process::exit(2);
@@ -83,6 +92,7 @@ struct Options {
     bench_out: Option<String>,
     bench_classify_mode: bool,
     bench_sim_mode: bool,
+    qos_report_mode: bool,
     sim_jobs: Option<u64>,
     sim_halt_at_s: Option<f64>,
     sim_snapshot_out: Option<String>,
@@ -103,6 +113,7 @@ fn parse_args(args: &[String]) -> Options {
         bench_out: None,
         bench_classify_mode: false,
         bench_sim_mode: false,
+        qos_report_mode: false,
         sim_jobs: None,
         sim_halt_at_s: None,
         sim_snapshot_out: None,
@@ -164,6 +175,9 @@ fn parse_args(args: &[String]) -> Options {
             }
             "bench-sim" if opts.ids.is_empty() && !opts.bench_sim_mode => {
                 opts.bench_sim_mode = true
+            }
+            "qos-report" if opts.ids.is_empty() && !opts.qos_report_mode => {
+                opts.qos_report_mode = true
             }
             a => opts.ids.push(a.to_string()),
         }
@@ -355,10 +369,47 @@ fn run_bench_sim(opts: &Options) {
     }
 }
 
+/// `qos-report <fig>`: rerun one figure's scenario and print the
+/// per-cause QoS violation breakdown (the ledger CSV and the incident
+/// JSONL land under `target/experiment-results/qos/`).
+fn run_qos_report(opts: &Options) {
+    let fig = match opts.ids.as_slice() {
+        [id] if id != "all" => id.as_str(),
+        _ => {
+            eprintln!(
+                "qos-report takes exactly one figure id ({})",
+                quasar_experiments::qos_report::QOS_REPORT_IDS.join(" ")
+            );
+            usage();
+        }
+    };
+    eprintln!(
+        "[qos-report {fig}: {:?}, {} threads]",
+        opts.scale, opts.threads
+    );
+    match quasar_experiments::qos_report::run_with(fig, opts.scale, opts.threads) {
+        Some(report) => {
+            println!("###### qos-report {fig} ({:?}) ######", opts.scale);
+            print!("{report}");
+        }
+        None => {
+            eprintln!(
+                "qos-report does not cover {fig} (ids: {})",
+                quasar_experiments::qos_report::QOS_REPORT_IDS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&args);
 
+    if opts.qos_report_mode {
+        run_qos_report(&opts);
+        return;
+    }
     if opts.bench_sim_mode {
         run_bench_sim(&opts);
         return;

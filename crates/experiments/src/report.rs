@@ -96,6 +96,17 @@ pub fn telemetry_summary() -> String {
             live(format!("{:.0}", decision.percentile(p))),
         ]);
     }
+    // p0/p100 come from the histogram's exact streaming min/max, not
+    // bucket bounds — the one place the summary reports a latency that
+    // is not quantized.
+    t.row([
+        "decision latency p0 (us, exact)".to_string(),
+        live(format!("{:.0}", decision.min())),
+    ]);
+    t.row([
+        "decision latency p100 (us, exact)".to_string(),
+        live(format!("{:.0}", decision.max())),
+    ]);
     t.row([
         "exhaustive classify p50 (us, bucketed)".to_string(),
         live(format!("{:.0}", exhaustive.percentile(0.5))),

@@ -102,6 +102,13 @@ struct HistogramInner {
     /// order (and thus the exact bits) is scheduling-dependent under
     /// parallel recording; deterministic views drop it.
     sum_bits: AtomicU64,
+    /// Exact smallest recorded value as `f64` bits (`+inf` when empty).
+    /// Unlike the sum, min/max are order-independent — but the recorded
+    /// *values* of wall-clock histograms are not, so deterministic views
+    /// drop these too.
+    min_bits: AtomicU64,
+    /// Exact largest recorded value as `f64` bits (`-inf` when empty).
+    max_bits: AtomicU64,
 }
 
 /// A fixed-bucket histogram. A value `v` lands in the first bucket whose
@@ -134,6 +141,26 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+        update_extreme(&self.0.min_bits, v, |v, cur| v.total_cmp(&cur).is_lt());
+        update_extreme(&self.0.max_bits, v, |v, cur| v.total_cmp(&cur).is_gt());
+    }
+
+    /// Exact smallest recorded value (streaming, not a bucket bound).
+    /// 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.0.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Exact largest recorded value (streaming, not a bucket bound).
+    /// 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        f64::from_bits(self.0.max_bits.load(Ordering::Relaxed))
     }
 
     /// Number of recorded values.
@@ -176,6 +203,19 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+}
+
+/// CAS-updates an `f64`-bits cell toward a new extreme: stores `v` when
+/// `better(v, current)` holds. `total_cmp` ordering keeps the loop
+/// convergent even against NaN.
+fn update_extreme(cell: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
     }
 }
 
@@ -258,6 +298,8 @@ impl Registry {
                 buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
                 count: AtomicU64::new(0),
                 sum_bits: AtomicU64::new(0f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             })))
         }) {
             Metric::Histogram(h) => h.clone(),
@@ -286,6 +328,10 @@ impl Registry {
                     }
                     h.0.count.store(0, Ordering::Relaxed);
                     h.0.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+                    h.0.min_bits
+                        .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+                    h.0.max_bits
+                        .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
                 }
             }
         }
@@ -304,6 +350,8 @@ impl Registry {
                     Metric::Histogram(h) => MetricValue::Histogram {
                         count: h.count(),
                         sum: h.sum(),
+                        min: h.min(),
+                        max: h.max(),
                         bounds: h.0.bounds.clone(),
                         buckets: h.bucket_counts(),
                     },
@@ -327,6 +375,10 @@ pub enum MetricValue {
         count: u64,
         /// Sum of recorded values.
         sum: f64,
+        /// Exact smallest recorded value (0 when empty).
+        min: f64,
+        /// Exact largest recorded value (0 when empty).
+        max: f64,
         /// Bucket upper bounds.
         bounds: Vec<f64>,
         /// Bucket counts (`bounds.len() + 1`, last is overflow).
@@ -375,6 +427,8 @@ impl Snapshot {
                     MetricValue::Histogram { count, .. } => MetricValue::Histogram {
                         count: *count,
                         sum: 0.0,
+                        min: 0.0,
+                        max: 0.0,
                         bounds: Vec::new(),
                         buckets: Vec::new(),
                     },
@@ -396,8 +450,18 @@ impl Snapshot {
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(out, "{} gauge {v}", e.name);
                 }
-                MetricValue::Histogram { count, sum, .. } => {
-                    let _ = writeln!(out, "{} histogram count={count} sum={sum:.1}", e.name);
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{} histogram count={count} sum={sum:.1} min={min:.1} max={max:.1}",
+                        e.name
+                    );
                 }
             }
         }
@@ -418,9 +482,17 @@ impl Snapshot {
                     MetricValue::Gauge(v) => {
                         format!("{{\"type\":\"metric\",\"kind\":\"gauge\",\"name\":\"{name}\",\"value\":{v}}}")
                     }
-                    MetricValue::Histogram { count, sum, .. } => format!(
-                        "{{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":\"{name}\",\"count\":{count},\"sum\":{}}}",
-                        crate::json::number(*sum)
+                    MetricValue::Histogram {
+                        count,
+                        sum,
+                        min,
+                        max,
+                        ..
+                    } => format!(
+                        "{{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":\"{name}\",\"count\":{count},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        crate::json::number(*sum),
+                        crate::json::number(*min),
+                        crate::json::number(*max)
                     ),
                 }
             })
@@ -468,6 +540,35 @@ mod tests {
         assert_eq!(count, 5);
         assert_eq!(buckets, vec![2, 2, 1]);
         assert_eq!(h.sum(), 10.0 + 10.000001 + 100.0 + 100.5);
+        // Min/max are exact streamed values, not bucket bounds.
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 100.5);
+    }
+
+    #[test]
+    fn histogram_min_max_stream_exactly_and_reset() {
+        let r = Registry::new();
+        let h = r.histogram("quasar.test.minmax", &[10.0]);
+        assert_eq!((h.min(), h.max()), (0.0, 0.0), "empty reports zeros");
+        h.record(3.5);
+        assert_eq!((h.min(), h.max()), (3.5, 3.5));
+        h.record(42.25);
+        h.record(-1.5);
+        assert_eq!((h.min(), h.max()), (-1.5, 42.25));
+        let MetricValue::Histogram { min, max, .. } =
+            r.snapshot().get("quasar.test.minmax").unwrap().clone()
+        else {
+            panic!("histogram expected");
+        };
+        assert_eq!((min, max), (-1.5, 42.25));
+        r.reset();
+        assert_eq!((h.min(), h.max()), (0.0, 0.0));
+        h.record(7.0);
+        assert_eq!(
+            (h.min(), h.max()),
+            (7.0, 7.0),
+            "extremes re-arm after reset"
+        );
     }
 
     #[test]
@@ -523,6 +624,8 @@ mod tests {
         let MetricValue::Histogram {
             count,
             sum,
+            min,
+            max,
             bounds,
             buckets,
         } = det.get("quasar.core.classify.decision_us").unwrap().clone()
@@ -530,6 +633,7 @@ mod tests {
             panic!("histogram expected");
         };
         assert_eq!((count, sum), (1, 0.0));
+        assert_eq!((min, max), (0.0, 0.0), "live extremes stripped");
         assert!(bounds.is_empty() && buckets.is_empty());
     }
 
