@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use quasar_cf::{DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix};
+use quasar_cf::kernel::{rotate_cols, rotate_cols_scalar};
+use quasar_cf::{svd_in, CfScratch, DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix};
 use quasar_cluster::{managers::NullManager, ClusterSpec, SimConfig, Simulation};
 use quasar_core::{Axes, Classifier, GreedyScheduler, Profiler};
 use quasar_experiments::local_history;
@@ -53,6 +54,78 @@ fn sgd_kernel_vs_reference(c: &mut Criterion) {
         });
         c.bench_function(&format!("sgd_reference_25x81_d{density_pct}"), |b| {
             b.iter(|| black_box(quasar_cf::reference::train_reference(&sparse, &config)))
+        });
+    }
+}
+
+fn rotation_blocked_vs_scalar(c: &mut Criterion) {
+    // The 4-lane blocked Jacobi rotation against the plain scalar loop,
+    // at the classifier's history column length (25, 81) and a
+    // cache-resident length where lane throughput dominates (4096). Both
+    // apply an exact unit rotation in place so values stay bounded
+    // across arbitrarily many iterations.
+    for len in [25usize, 81, 4096] {
+        let fill = |salt: u64| -> Vec<f64> {
+            (0..len)
+                .map(|i| (((i as u64 * 2_654_435_761 + salt) % 1_000) as f64) / 500.0 - 1.0)
+                .collect()
+        };
+        let (c_rot, s_rot) = (0.8, 0.6);
+        let (mut bp, mut bq) = (fill(1), fill(2));
+        c.bench_function(&format!("rotate_cols_blocked_{len}"), |b| {
+            b.iter(|| {
+                rotate_cols(&mut bp, &mut bq, c_rot, s_rot);
+                black_box(bp[0])
+            })
+        });
+        let (mut sp, mut sq) = (fill(1), fill(2));
+        c.bench_function(&format!("rotate_cols_scalar_{len}"), |b| {
+            b.iter(|| {
+                rotate_cols_scalar(&mut sp, &mut sq, c_rot, s_rot);
+                black_box(sp[0])
+            })
+        });
+    }
+}
+
+fn scratch_vs_fresh_svd(c: &mut Criterion) {
+    // The history-sized decomposition with a fresh workspace arena per
+    // call vs. a persistent recycled one. The delta is the allocation +
+    // zeroing cost the scratch path removes from every classification.
+    let a = quasar_experiments::bench_kernels::svd_input(25, 81);
+    c.bench_function("svd_25x81_fresh_arena", |b| {
+        b.iter(|| black_box(svd_in(&a, &mut CfScratch::new())))
+    });
+    let mut arena = CfScratch::new();
+    c.bench_function("svd_25x81_scratch_arena", |b| {
+        b.iter(|| {
+            let out = svd_in(&a, &mut arena);
+            black_box(out.singular_values[0]);
+            arena.recycle_svd(out);
+        })
+    });
+}
+
+fn scratch_vs_fresh_train(c: &mut Criterion) {
+    // Full PQ training (SVD seed + SGD refinement) at the classifier
+    // shape across the production rank range, fresh arena vs. recycled.
+    let sparse = quasar_experiments::bench_kernels::sgd_input(60);
+    for max_rank in [1usize, 4, 8] {
+        let config = SgdConfig {
+            max_rank,
+            max_epochs: 60,
+            ..SgdConfig::default()
+        };
+        c.bench_function(&format!("train_25x81_r{max_rank}_fresh_arena"), |b| {
+            b.iter(|| black_box(PqModel::train_in(&sparse, &config, &mut CfScratch::new())))
+        });
+        let mut arena = CfScratch::new();
+        c.bench_function(&format!("train_25x81_r{max_rank}_scratch_arena"), |b| {
+            b.iter(|| {
+                let model = PqModel::train_in(&sparse, &config, &mut arena);
+                black_box(model.rank());
+                arena.recycle_model(model);
+            })
         });
     }
 }
@@ -241,6 +314,7 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
     targets = svd_of_history_sized_matrix, svd_kernel_vs_reference, sgd_kernel_vs_reference,
+        rotation_blocked_vs_scalar, scratch_vs_fresh_svd, scratch_vs_fresh_train,
         pq_reconstruction, profile_and_classify,
         classification_parallelism, pool_fan_out, greedy_planning, simulation_tick
 }

@@ -54,14 +54,26 @@ mod dense;
 mod fingerprint;
 mod pq;
 mod reconstruct;
+pub mod scratch;
 mod sparse;
 mod svd;
 
 pub use dense::DenseMatrix;
 pub use pq::{PqModel, SgdConfig};
 pub use reconstruct::{ReconstructError, Reconstructor};
+pub use scratch::CfScratch;
 pub use sparse::SparseMatrix;
-pub use svd::{svd, Svd};
+pub use svd::{svd, svd_in, Svd};
+
+/// The order-free elementwise loop kernels of the SVD (see DESIGN.md
+/// §4f for the loop taxonomy that makes them safe to re-block).
+///
+/// Exposed so the micro-benchmarks and the `bench-kernels` emitter can
+/// measure the blocked rotation against its scalar form directly; the
+/// classification fast path always uses the blocked [`kernel::rotate_cols`].
+pub mod kernel {
+    pub use crate::svd::{rotate_cols, rotate_cols_scalar};
+}
 
 /// Frozen pre-refactor scalar-loop kernels, kept as correctness oracles.
 ///

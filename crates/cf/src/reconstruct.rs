@@ -11,6 +11,7 @@ use quasar_obs::registry::{Counter, Registry};
 use crate::dense::DenseMatrix;
 use crate::fingerprint::Fingerprint;
 use crate::pq::{PqModel, SgdConfig};
+use crate::scratch::{self, CfScratch};
 use crate::sparse::SparseMatrix;
 
 /// Entries kept in the row-reconstruction memo. Experiments reuse a
@@ -272,18 +273,49 @@ impl Reconstructor {
     ///
     /// Returns [`ReconstructError::Empty`] when `a` has no observations.
     pub fn try_reconstruct(&self, a: &SparseMatrix) -> Result<DenseMatrix, ReconstructError> {
+        scratch::with(|s| self.try_reconstruct_in(a, s))
+    }
+
+    /// [`Reconstructor::try_reconstruct`] against an explicit workspace
+    /// arena: training and prediction buffers are pooled, and the
+    /// trained model's buffers are recycled once the predictions are
+    /// out. The returned matrix is bit-identical to the fresh path.
+    fn try_reconstruct_in(
+        &self,
+        a: &SparseMatrix,
+        scratch: &mut CfScratch,
+    ) -> Result<DenseMatrix, ReconstructError> {
         if a.is_empty() {
             return Err(ReconstructError::Empty);
         }
-        let model = PqModel::train(a, &self.config);
-        Ok(self.finish_predictions(&model, a))
+        let model = PqModel::train_in(a, &self.config, scratch);
+        let dense = self.finish_predictions_in(&model, a, scratch);
+        // The model never escapes this path; hand its buffers back.
+        scratch.recycle_model(model);
+        Ok(dense)
     }
 
     /// The steps of [`Reconstructor::try_reconstruct`] after model
-    /// training: predict every cell, restore the observed entries, and
-    /// clamp to the observed range.
-    fn finish_predictions(&self, model: &PqModel, a: &SparseMatrix) -> DenseMatrix {
-        let mut dense = model.predict_all();
+    /// training: predict every cell (into the arena's recycled
+    /// prediction buffer, when one is pooled), restore the observed
+    /// entries, and clamp to the observed range.
+    fn finish_predictions_in(
+        &self,
+        model: &PqModel,
+        a: &SparseMatrix,
+        scratch: &mut CfScratch,
+    ) -> DenseMatrix {
+        let buf = match scratch.predict.take() {
+            Some(buf) => {
+                scratch.stats.slot(true);
+                buf
+            }
+            None => {
+                scratch.stats.slot(false);
+                Vec::new()
+            }
+        };
+        let mut dense = model.predict_all_in(buf);
         // Observed entries are authoritative; keep the raw measurements.
         for (r, c, v) in a.iter() {
             dense.set(r, c, v);
@@ -419,17 +451,48 @@ impl Reconstructor {
         if history.rows() == 0 {
             return Err(ReconstructError::Unanchored);
         }
-        let mut sparse = SparseMatrix::from_dense_rows(history);
+        scratch::with(|s| {
+            let (target_row, sparse) = Self::pooled_history_matrix(history, target, s);
+            let model = match warm.and_then(|w| PqModel::train_warm_in(&sparse, &self.config, w, s))
+            {
+                Some(m) => m,
+                None => PqModel::train_in(&sparse, &self.config, s),
+            };
+            let dense = self.finish_predictions_in(&model, &sparse, s);
+            s.row_sparse = Some(sparse);
+            let row = dense.row(target_row).to_vec();
+            s.recycle_predict(dense.into_vec());
+            // The model escapes to the caller, so its buffers are not
+            // recycled here.
+            Ok((row, model))
+        })
+    }
+
+    /// Checks the pooled history+target matrix out of `scratch` and
+    /// fills it: the fully-observed `history` rows plus one sparse
+    /// target row. Returns the target row's index and the matrix (the
+    /// caller returns it to the `row_sparse` slot when done).
+    fn pooled_history_matrix(
+        history: &DenseMatrix,
+        target: &[(usize, f64)],
+        scratch: &mut CfScratch,
+    ) -> (usize, SparseMatrix) {
+        let mut sparse = match scratch.row_sparse.take() {
+            Some(mut pooled) => {
+                scratch.stats.slot(true);
+                pooled.assign_dense_rows(history);
+                pooled
+            }
+            None => {
+                scratch.stats.slot(false);
+                SparseMatrix::from_dense_rows(history)
+            }
+        };
         let target_row = sparse.push_row();
         for &(c, v) in target {
             sparse.insert(target_row, c, v);
         }
-        let model = match warm.and_then(|w| PqModel::train_warm(&sparse, &self.config, w)) {
-            Some(m) => m,
-            None => PqModel::train(&sparse, &self.config),
-        };
-        let dense = self.finish_predictions(&model, &sparse);
-        Ok((dense.row(target_row).to_vec(), model))
+        (target_row, sparse)
     }
 
     /// Cache hits and misses of the row memo, for benchmarks and tests.
@@ -472,15 +535,19 @@ impl Reconstructor {
         target: &[(usize, f64)],
     ) -> Result<Vec<f64>, ReconstructError> {
         // Bulk-copy the fully-observed history (per-cell `insert` here
-        // was O(rows · cols²) from duplicate scans), then append the
-        // sparse target row.
-        let mut sparse = SparseMatrix::from_dense_rows(history);
-        let target_row = sparse.push_row();
-        for &(c, v) in target {
-            sparse.insert(target_row, c, v);
-        }
-        let dense = self.try_reconstruct(&sparse)?;
-        Ok(dense.row(target_row).to_vec())
+        // was O(rows · cols²) from duplicate scans) into the pooled
+        // history matrix, then append the sparse target row. In steady
+        // state the only allocations left on this path are the target
+        // row's entry list and the escaping result row.
+        scratch::with(|s| {
+            let (target_row, sparse) = Self::pooled_history_matrix(history, target, s);
+            let result = self.try_reconstruct_in(&sparse, s);
+            s.row_sparse = Some(sparse);
+            let dense = result?;
+            let row = dense.row(target_row).to_vec();
+            s.recycle_predict(dense.into_vec());
+            Ok(row)
+        })
     }
 }
 
@@ -741,6 +808,34 @@ mod tests {
             .unwrap();
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
         assert_eq!(bits(&cold_row), bits(&fallback_row));
+    }
+
+    #[test]
+    fn steady_state_row_reconstruction_stops_growing_the_arena() {
+        // Distinct targets bust the row memo, so every call reaches the
+        // training kernels; after a short warmup at a fixed shape the
+        // thread's arena must serve every checkout from pooled capacity.
+        // (Each test runs on its own thread, so `thread_stats` observes
+        // only this test's arena.)
+        let history = DenseMatrix::from_fn(4, 3, |r, c| (r as f64 + 1.0) * (c as f64 + 0.5));
+        let rec = Reconstructor::new().with_config(SgdConfig {
+            max_epochs: 2,
+            max_rank: 2,
+            ..SgdConfig::default()
+        });
+        for i in 0..4 {
+            rec.reconstruct_row(&history, &[(0, i as f64 + 0.25)])
+                .unwrap();
+        }
+        let (_, grows_warm, bytes_warm) = crate::scratch::thread_stats();
+        for i in 4..20 {
+            rec.reconstruct_row(&history, &[(0, i as f64 + 0.25)])
+                .unwrap();
+        }
+        let (reuses, grows, bytes) = crate::scratch::thread_stats();
+        assert_eq!(grows, grows_warm, "steady state must not grow the arena");
+        assert_eq!(bytes, bytes_warm, "held bytes are flat in steady state");
+        assert!(reuses > 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::OnceLock;
 use quasar_obs::registry::{Counter, Registry};
 
 use crate::dense::DenseMatrix;
+use crate::scratch::{self, CfScratch};
 
 /// Convergence threshold for column orthogonality, relative to column norms.
 const JACOBI_TOL: f64 = 1e-12;
@@ -62,13 +63,21 @@ impl Svd {
         let r = self.singular_values.len();
         let sigma = &self.singular_values[..];
         let mut data = Vec::with_capacity(m * n);
+        // The scaled products `u_ik · σ_k` are hoisted out of the inner
+        // `j` loop: `m·n·r` multiplies become `m·r` scales plus a plain
+        // inner product. `u * s * v` parses as `(u * s) * v`, so reusing
+        // the `u * s` product changes no operation and no bit.
+        let mut us = vec![0.0; r];
         for i in 0..m {
             let urow = &self.u.row(i)[..r];
+            for (dst, (&u, &s)) in us.iter_mut().zip(urow.iter().zip(sigma)) {
+                *dst = u * s;
+            }
             for j in 0..n {
                 let vrow = &self.v.row(j)[..r];
                 let mut sum = 0.0;
-                for ((&u, &s), &v) in urow.iter().zip(sigma).zip(vrow) {
-                    sum += u * s * v;
+                for (&us_k, &v) in us.iter().zip(vrow) {
+                    sum += us_k * v;
                 }
                 data.push(sum);
             }
@@ -82,7 +91,11 @@ impl Svd {
     /// Always returns at least 1.
     pub fn rank_for_energy(&self, energy: f64) -> usize {
         let total: f64 = self.singular_values.iter().map(|s| s * s).sum();
-        if total <= 0.0 {
+        // A non-finite spectrum (NaN singular values from degenerate
+        // inputs) must be guarded explicitly: a NaN total fails
+        // `<= 0.0`, and downstream `acc >= NaN-target` never fires, so
+        // the old code silently returned full rank.
+        if !total.is_finite() || total <= 0.0 {
             return 1;
         }
         let target = energy.clamp(0.0, 1.0) * total;
@@ -106,17 +119,44 @@ fn col_pair_mut(data: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64]
     (&mut left[p * len..p * len + len], &mut right[..len])
 }
 
-/// Applies the plane rotation `(x, y) ← (c·x − s·y, s·x + c·y)` to a
-/// column pair in one fused pass. Each element is rotated independently
-/// (no cross-element accumulation), so the compiler is free to vectorize
-/// without changing any result bit.
+/// Lanes per block of the width-blocked rotation kernel: one 4-wide
+/// `f64` vector (AVX2) or two 2-wide ones (SSE2/NEON).
+const ROTATE_LANES: usize = 4;
+
+/// The straight-line rotation loop, kept both as the remainder handler
+/// of [`rotate_cols`] and as the comparison baseline for the
+/// blocked-vs-scalar benches and proptests.
 #[inline]
-fn rotate_cols(colp: &mut [f64], colq: &mut [f64], c: f64, s: f64) {
+pub fn rotate_cols_scalar(colp: &mut [f64], colq: &mut [f64], c: f64, s: f64) {
     for (x, y) in colp.iter_mut().zip(colq.iter_mut()) {
         let (ap, aq) = (*x, *y);
         *x = c * ap - s * aq;
         *y = s * ap + c * aq;
     }
+}
+
+/// Applies the plane rotation `(x, y) ← (c·x − s·y, s·x + c·y)` to a
+/// column pair, blocked into [`ROTATE_LANES`]-wide bodies over fixed-size
+/// array chunks (so every lane is bounds-check-free and the block maps
+/// onto one SIMD register) with a scalar remainder. Each element is
+/// rotated independently — there is no cross-element accumulation to
+/// reassociate — so blocking stays inside the §4f bit-identity contract:
+/// the output is identical to [`rotate_cols_scalar`] bit for bit.
+#[inline]
+pub fn rotate_cols(colp: &mut [f64], colq: &mut [f64], c: f64, s: f64) {
+    debug_assert_eq!(colp.len(), colq.len(), "column pair lengths match");
+    let mut ps = colp.chunks_exact_mut(ROTATE_LANES);
+    let mut qs = colq.chunks_exact_mut(ROTATE_LANES);
+    for (p, q) in ps.by_ref().zip(qs.by_ref()) {
+        let p: &mut [f64; ROTATE_LANES] = p.try_into().expect("chunk is ROTATE_LANES wide");
+        let q: &mut [f64; ROTATE_LANES] = q.try_into().expect("chunk is ROTATE_LANES wide");
+        for k in 0..ROTATE_LANES {
+            let (ap, aq) = (p[k], q[k]);
+            p[k] = c * ap - s * aq;
+            q[k] = s * ap + c * aq;
+        }
+    }
+    rotate_cols_scalar(ps.into_remainder(), qs.into_remainder(), c, s);
 }
 
 /// Computes the thin SVD of `a` with the one-sided Jacobi method.
@@ -144,6 +184,17 @@ fn rotate_cols(colp: &mut [f64], colq: &mut [f64], c: f64, s: f64) {
 /// assert!(d.reconstruct().max_abs_diff(&a) < 1e-9);
 /// ```
 pub fn svd(a: &DenseMatrix) -> Svd {
+    scratch::with(|s| svd_in(a, s))
+}
+
+/// [`svd`] against an explicit workspace arena.
+///
+/// Identical output, but every working buffer (and the output buffers,
+/// when `scratch` holds recycled ones — see [`CfScratch::recycle_svd`])
+/// comes from `scratch`, so a warmed arena makes the whole decomposition
+/// allocation-free. [`svd`] itself is this function against the calling
+/// thread's default arena.
+pub fn svd_in(a: &DenseMatrix, scratch: &mut CfScratch) -> Svd {
     // The decomposition runs on the tall orientation: M = Aᵀ when A is
     // wide. The column-major layout of Aᵀ is exactly A's row-major
     // buffer, so the wide case needs no transpose pass at all — just a
@@ -154,21 +205,30 @@ pub fn svd(a: &DenseMatrix) -> Svd {
     } else {
         (a.rows(), a.cols())
     };
+    let CfScratch {
+        svd_work: work,
+        svd_v: v,
+        svd_norms: norms,
+        svd_order: order,
+        svd_out,
+        stats,
+        ..
+    } = scratch;
     // Column-major working set: column c occupies work[c·m .. (c+1)·m].
     // Laying the working set out by column is what makes every sweep
     // below contiguous.
-    let mut work = if wide {
-        a.as_slice().to_vec()
+    if wide {
+        stats.reserve(work, m * n);
+        work.extend_from_slice(a.as_slice());
     } else {
-        let mut work = vec![0.0; m * n];
+        stats.checkout(work, m * n);
         for r in 0..m {
             for (c, &value) in a.row(r).iter().enumerate() {
                 work[c * m + r] = value;
             }
         }
-        work
-    };
-    let mut v = vec![0.0; n * n];
+    }
+    stats.checkout(v, n * n);
     for i in 0..n {
         v[i * n + i] = 1.0;
     }
@@ -179,7 +239,7 @@ pub fn svd(a: &DenseMatrix) -> Svd {
         let mut off_diagonal = false;
         for p in 0..n {
             for q in (p + 1)..n {
-                let (wp, wq) = col_pair_mut(&mut work, m, p, q);
+                let (wp, wq) = col_pair_mut(work, m, p, q);
                 // Fused Gram accumulation: α = ‖a_p‖², β = ‖a_q‖²,
                 // γ = a_p·a_q in one pass, each sum in ascending row
                 // order exactly as the reference loops.
@@ -202,7 +262,7 @@ pub fn svd(a: &DenseMatrix) -> Svd {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
                 rotate_cols(wp, wq, c, s);
-                let (vp, vq) = col_pair_mut(&mut v, n, p, q);
+                let (vp, vq) = col_pair_mut(v, n, p, q);
                 rotate_cols(vp, vq, c, s);
             }
         }
@@ -217,16 +277,26 @@ pub fn svd(a: &DenseMatrix) -> Svd {
     rotations.add(rotation_count);
 
     // Column norms are the singular values; sort them descending.
-    let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = work
-        .chunks_exact(m)
-        .map(|col| col.iter().map(|x| x.powi(2)).sum::<f64>().sqrt())
-        .collect();
-    order.sort_by(|&x, &y| norms[y].total_cmp(&norms[x]));
+    stats.reserve(norms, n);
+    norms.extend(
+        work.chunks_exact(m)
+            .map(|col| col.iter().map(|x| x.powi(2)).sum::<f64>().sqrt()),
+    );
+    stats.reserve(order, n);
+    order.extend(0..n);
+    sort_desc_by_norm(order, norms);
 
-    let mut u_data = vec![0.0; m * n];
-    let mut v_data = vec![0.0; n * n];
-    let mut singular_values = Vec::with_capacity(n);
+    let (mut u_data, mut v_data, mut singular_values) = svd_out.take().unwrap_or_default();
+    // The wide case returns the factors swapped, so a recycled pair
+    // comes back with the big (m·n) buffer in the small (n·n) slot and
+    // vice versa. Route the larger capacity to the larger target (m ≥ n
+    // here) — contents don't matter, checkout overwrites them.
+    if u_data.capacity() < v_data.capacity() {
+        std::mem::swap(&mut u_data, &mut v_data);
+    }
+    stats.checkout(&mut u_data, m * n);
+    stats.checkout(&mut v_data, n * n);
+    stats.reserve(&mut singular_values, n);
     for (k, &c) in order.iter().enumerate() {
         let norm = norms[c];
         singular_values.push(norm);
@@ -253,6 +323,25 @@ pub fn svd(a: &DenseMatrix) -> Svd {
             u,
             singular_values,
             v,
+        }
+    }
+}
+
+/// Stable insertion sort of `order` by descending `norms` value.
+///
+/// Replaces the standard library's stable `sort_by` in [`svd_in`]'s norm
+/// ordering: any stable sort yields the identical permutation (ties keep
+/// their index order), and — unlike the standard sort, which heap-buffers
+/// merge runs — this one allocates nothing. `n ≤ 81` here, so the O(n²)
+/// worst case is noise next to the Jacobi sweeps.
+fn sort_desc_by_norm(order: &mut [usize], norms: &[f64]) {
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0
+            && norms[order[j]].total_cmp(&norms[order[j - 1]]) == std::cmp::Ordering::Greater
+        {
+            order.swap(j, j - 1);
+            j -= 1;
         }
     }
 }
@@ -458,6 +547,58 @@ mod tests {
         assert!(d.rank_for_energy(0.5) <= d.rank_for_energy(0.9));
         assert!(d.rank_for_energy(0.9) <= d.rank_for_energy(1.0));
         assert!(d.rank_for_energy(0.0) >= 1);
+    }
+
+    #[test]
+    fn rank_for_energy_guards_non_finite_spectrum() {
+        // Regression: a NaN total used to slip past `total <= 0.0`, and
+        // `acc >= NaN` never fires, so the old code returned full rank.
+        let nan = Svd {
+            u: DenseMatrix::identity(3),
+            singular_values: vec![f64::NAN, 1.0, 0.5],
+            v: DenseMatrix::identity(3),
+        };
+        assert_eq!(nan.rank_for_energy(0.95), 1);
+        let inf = Svd {
+            u: DenseMatrix::identity(2),
+            singular_values: vec![f64::INFINITY, 1.0],
+            v: DenseMatrix::identity(2),
+        };
+        assert_eq!(inf.rank_for_energy(0.95), 1);
+    }
+
+    #[test]
+    fn blocked_rotation_matches_scalar_across_remainder_classes() {
+        let (c, s) = (0.8, 0.6);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 81] {
+            let base_p: Vec<f64> = (0..len).map(|i| i as f64 * 0.37 - 4.0).collect();
+            let base_q: Vec<f64> = (0..len).map(|i| 2.5 - i as f64 * 0.11).collect();
+            let (mut bp, mut bq) = (base_p.clone(), base_q.clone());
+            let (mut sp, mut sq) = (base_p, base_q);
+            rotate_cols(&mut bp, &mut bq, c, s);
+            rotate_cols_scalar(&mut sp, &mut sq, c, s);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&bp), bits(&sp), "len {len}");
+            assert_eq!(bits(&bq), bits(&sq), "len {len}");
+        }
+    }
+
+    #[test]
+    fn svd_in_with_recycled_buffers_is_bit_identical() {
+        let a = DenseMatrix::from_fn(9, 6, |r, c| ((r * 5 + c * 3) % 13) as f64 * 0.5 - 3.0);
+        let baseline = svd_reference(&a);
+        let mut s = CfScratch::new();
+        let first = svd_in(&a, &mut s);
+        s.recycle_svd(first);
+        // Second run through the warmed arena with recycled outputs.
+        let again = svd_in(&a, &mut s);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&again.singular_values),
+            bits(&baseline.singular_values)
+        );
+        assert_eq!(bits(again.u.as_slice()), bits(baseline.u.as_slice()));
+        assert_eq!(bits(again.v.as_slice()), bits(baseline.v.as_slice()));
     }
 
     #[test]

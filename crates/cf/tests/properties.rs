@@ -2,8 +2,11 @@
 
 use proptest::prelude::*;
 
+use quasar_cf::kernel::{rotate_cols, rotate_cols_scalar};
 use quasar_cf::reference::{svd_reference, train_reference};
-use quasar_cf::{svd, DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix};
+use quasar_cf::{
+    svd, svd_in, CfScratch, DenseMatrix, PqModel, Reconstructor, SgdConfig, SparseMatrix,
+};
 
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -191,6 +194,113 @@ proptest! {
             bits(bulk.to_dense_filled().as_slice()),
             bits(cellwise.to_dense_filled().as_slice())
         );
+    }
+
+    /// The 4-lane blocked rotation must match the scalar loop bitwise on
+    /// every column length in `0..64` — covering every `chunks_exact`
+    /// remainder class many times over. Rotations are elementwise
+    /// (order-free per DESIGN.md §4f), so blocking them must not move a
+    /// single bit.
+    #[test]
+    fn blocked_rotation_is_bit_identical_to_scalar(
+        len in 0usize..64,
+        p_seed in proptest::collection::vec(-10.0..10.0f64, 64),
+        q_seed in proptest::collection::vec(-10.0..10.0f64, 64),
+        theta in -3.2..3.2f64,
+    ) {
+        let (c, s) = (theta.cos(), theta.sin());
+        let mut p_blocked = p_seed[..len].to_vec();
+        let mut q_blocked = q_seed[..len].to_vec();
+        let mut p_scalar = p_blocked.clone();
+        let mut q_scalar = q_blocked.clone();
+        rotate_cols(&mut p_blocked, &mut q_blocked, c, s);
+        rotate_cols_scalar(&mut p_scalar, &mut q_scalar, c, s);
+        prop_assert_eq!(bits(&p_blocked), bits(&p_scalar));
+        prop_assert_eq!(bits(&q_blocked), bits(&q_scalar));
+    }
+
+    /// An arena warmed (and dirtied) by a decomposition of one matrix
+    /// must decompose the next matrix to exactly the bits a fresh arena
+    /// produces: scratch contents can never leak into results.
+    #[test]
+    fn scratch_reuse_never_changes_svd_bits(warm in dense_matrix(8), a in dense_matrix(8)) {
+        let mut warmed = CfScratch::new();
+        let first = svd_in(&warm, &mut warmed);
+        warmed.recycle_svd(first);
+        let reused = svd_in(&a, &mut warmed);
+        let fresh = svd_in(&a, &mut CfScratch::new());
+        prop_assert_eq!(bits(&reused.singular_values), bits(&fresh.singular_values));
+        prop_assert_eq!(bits(reused.u.as_slice()), bits(fresh.u.as_slice()));
+        prop_assert_eq!(bits(reused.v.as_slice()), bits(fresh.v.as_slice()));
+    }
+
+    /// Same contract for full training: a recycled arena (model and SVD
+    /// buffers included) trains a bit-identical model.
+    #[test]
+    fn scratch_reuse_never_changes_training_bits(
+        warm_entries in proptest::collection::vec((0usize..6, 0usize..5, -5.0..5.0f64), 4..20),
+        entries in proptest::collection::vec((0usize..7, 0usize..6, -5.0..5.0f64), 5..30),
+        max_rank in 1usize..6,
+    ) {
+        let mut warm = SparseMatrix::new(6, 5);
+        for (r, c, v) in warm_entries {
+            warm.insert(r, c, v);
+        }
+        let mut a = SparseMatrix::new(7, 6);
+        for (r, c, v) in entries {
+            a.insert(r, c, v);
+        }
+        prop_assume!(!warm.is_empty() && !a.is_empty());
+        let config = SgdConfig { max_epochs: 40, max_rank, ..SgdConfig::default() };
+        let mut warmed = CfScratch::new();
+        let first = PqModel::train_in(&warm, &config, &mut warmed);
+        warmed.recycle_model(first);
+        let reused = PqModel::train_in(&a, &config, &mut warmed);
+        let fresh = PqModel::train_in(&a, &config, &mut CfScratch::new());
+        prop_assert_eq!(reused.rank(), fresh.rank());
+        prop_assert_eq!(reused.epochs_run(), fresh.epochs_run());
+        prop_assert_eq!(
+            reused.final_residual().to_bits(),
+            fresh.final_residual().to_bits()
+        );
+        prop_assert_eq!(
+            bits(reused.predict_all().as_slice()),
+            bits(fresh.predict_all().as_slice())
+        );
+    }
+
+    /// End-to-end: a `reconstruct_row` on a thread whose default arena
+    /// has already served unrelated reconstructions returns exactly the
+    /// bits a pristine thread (fresh arena, fresh memo) returns.
+    #[test]
+    fn reconstruct_row_bits_do_not_depend_on_arena_state(
+        warm_h in dense_matrix(6),
+        h in dense_matrix(6),
+        t0 in -5.0..5.0f64,
+        t1 in -5.0..5.0f64,
+    ) {
+        let config = SgdConfig { max_epochs: 30, ..SgdConfig::default() };
+        let target = [(0usize, t0), (h.cols() - 1, t1)];
+        // Dirty this thread's arena at an unrelated shape.
+        let _ = Reconstructor::new()
+            .with_config(config)
+            .reconstruct_row(&warm_h, &[(0, 1.25)]);
+        let on_warm_arena = Reconstructor::new()
+            .with_config(config)
+            .reconstruct_row(&h, &target)
+            .unwrap();
+        let on_fresh_thread = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    Reconstructor::new()
+                        .with_config(config)
+                        .reconstruct_row(&h, &target)
+                        .unwrap()
+                })
+                .join()
+                .unwrap()
+        });
+        prop_assert_eq!(bits(&on_warm_arena), bits(&on_fresh_thread));
     }
 
     /// Sparse-matrix bookkeeping: density matches unique cells.

@@ -740,6 +740,48 @@ mod tests {
         }
     }
 
+    /// Adoption smoke for the CF scratch arenas: classification drives
+    /// `reconstruct_row` hard enough that buffer checkouts must be
+    /// served from pooled capacity, visible as the global
+    /// `quasar.cf.scratch.reuses` counter advancing.
+    #[test]
+    fn classification_reuses_cf_scratch_arenas() {
+        let catalog = PlatformCatalog::local();
+        let history = HistorySet::bootstrap(&catalog, 8, 41);
+        let axes = history.axes().clone();
+
+        let mut sim = Simulation::new(
+            ClusterSpec::uniform(catalog.clone(), 1),
+            Box::new(NullManager),
+            SimConfig::default(),
+        );
+        let mut generator = Generator::new(catalog.clone(), 7);
+        let job = generator.analytics_job(
+            WorkloadClass::Hadoop,
+            "scratch-probe",
+            Dataset::new("d", 12.0, 1.0),
+            2,
+            600.0,
+            Priority::Guaranteed,
+        );
+        let id = job.id();
+        sim.submit_at(job, 0.0);
+        sim.run_until(5.0);
+        let data = Profiler::new(2, 9).profile(sim.world_mut(), &axes, id);
+
+        let reuses = Registry::global().counter("quasar.cf.scratch.reuses");
+        let before = reuses.get();
+        // Two serial classifications: the axis reconstructions within
+        // each one (and the second run entirely) hit warmed arenas.
+        let classifier = Classifier::new().with_threads(1);
+        classifier.classify(&history, &data);
+        classifier.classify(&history, &data);
+        assert!(
+            reuses.get() > before,
+            "classification must reuse pooled scratch buffers"
+        );
+    }
+
     /// `classify_with_models` (the similarity index's miss path) must be
     /// bit-identical to the plain cached path — this is what makes
     /// "index enabled, no hits" byte-identical to "index disabled".

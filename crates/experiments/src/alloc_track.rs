@@ -1,0 +1,51 @@
+//! Heap-allocation accounting for the kernel benches.
+//!
+//! The `quasar-experiments` binary installs a counting global allocator
+//! (see its `main.rs`) that bumps [`ALLOCATIONS`] on every
+//! `alloc`/`realloc`/`alloc_zeroed`; `bench-kernels` reads the counter
+//! around kernel calls to report per-call allocation counts for the
+//! fresh-workspace vs. scratch-arena paths. The counter lives here — in
+//! the library, which is `#![forbid(unsafe_code)]` — as plain safe
+//! atomics; only the thin `GlobalAlloc` shim in the binary is unsafe.
+//!
+//! Other harnesses (`cargo test`, Criterion) never install the shim, so
+//! the counter stays flat there; [`active`] probes for that and lets
+//! reports mark their allocation columns as untracked instead of
+//! claiming a false zero.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total heap allocations observed by the counting allocator, when one
+/// is installed. Monotonically increasing; never reset.
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The allocation count so far (zero forever when no counting allocator
+/// is installed).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether a counting allocator is feeding [`ALLOCATIONS`]: performs a
+/// guaranteed heap allocation and checks that the counter moved.
+pub fn active() -> bool {
+    let before = allocations();
+    black_box(Box::new(black_box(0x5EEDu64)));
+    allocations() > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_inert_without_the_binary_shim() {
+        // Library test binaries use the plain system allocator, so the
+        // probe must report inactive and the counter must not move.
+        let before = allocations();
+        assert!(!active());
+        let v = vec![1u8; 4096];
+        std::hint::black_box(&v);
+        assert_eq!(allocations(), before);
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptation;
+pub mod alloc_track;
 pub mod bench_classify;
 pub mod bench_kernels;
 pub mod bench_sim;

@@ -36,9 +36,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// shard metrics (`quasar.cluster.shard.admitted`, `.rebalanced`,
 /// `.queue_depth_max`, ...) are driven by deterministic routing and stay
 /// in the deterministic view.
-pub const LIVE_PREFIXES: [&str; 3] = [
+///
+/// The CF scratch-arena counters (`quasar.cf.scratch.*`) are live
+/// because every worker thread owns its own arena: how checkouts split
+/// into reuses vs. grows (and the peak bytes held) depends on how the
+/// classification axes land on pool threads.
+pub const LIVE_PREFIXES: [&str; 4] = [
     "quasar.core.par.pool.",
     "quasar.cf.row_cache.evictions",
+    "quasar.cf.scratch.",
     "quasar.cluster.shard.wall.",
 ];
 
